@@ -1,0 +1,234 @@
+// Ablation studies for the design choices DESIGN.md calls out, plus the
+// paper's Section-8 extensions:
+//
+//   A. DP-Sync composition — owner-side record synchronization policies
+//      composed with the server-side view update protocol (eps1 + eps2).
+//   B. Transform operator choice — truncated sort-merge join (Example 5.1)
+//      vs truncated nested-loop join (Algorithm 4).
+//   C. Cache flushing — disabled vs Theorem-4-sized vs starving flush: the
+//      flush size must cover the deferred-data bound or real tuples are
+//      recycled and the error becomes permanent.
+//   D. Multi-level pipelines with operator-level privacy allocation
+//      (Appendix D.2): uniform vs optimizer-chosen eps split.
+//   E. Filter-based views across strategies.
+
+#include "bench/bench_common.h"
+#include "src/common/logging.h"
+#include "src/core/multilevel.h"
+#include "src/dp/allocation.h"
+
+using namespace incshrink;
+using namespace incshrink::bench;
+
+namespace {
+
+void AblationDpSync(uint64_t steps) {
+  PrintHeader("Ablation A: DP-Sync owner policies composed with sDPTimer");
+  const DatasetSpec spec = MakeTpcDs(steps);
+  struct Policy {
+    const char* name;
+    UploadPolicyKind kind;
+    double eps_sync;
+  } policies[] = {
+      {"fixed-size", UploadPolicyKind::kFixedSize, 0},
+      {"DP-Timer-sync", UploadPolicyKind::kDpTimerSync, 1.0},
+      {"DP-ANT-sync", UploadPolicyKind::kDpAntSync, 1.0},
+  };
+  std::printf("%14s | %10s | %8s | %8s | %12s\n", "upload policy",
+              "eps(total)", "avg L1", "rel.err", "total MPC");
+  for (const Policy& p : policies) {
+    IncShrinkConfig cfg = WithStrategy(spec.config, Strategy::kDpTimer);
+    cfg.upload_policy1.kind = p.kind;
+    cfg.upload_policy1.eps_sync = p.eps_sync;
+    cfg.upload_policy1.sync_interval = 2;
+    cfg.upload_policy1.sync_theta = 10;
+    cfg.upload_policy2 = cfg.upload_policy1;
+    Engine engine(cfg);
+    const Status st = engine.Run(spec.workload.t1, spec.workload.t2);
+    INCSHRINK_CHECK(st.ok());
+    const RunSummary s = engine.Summary();
+    std::printf("%14s | %10.2f | %8.2f | %8.3f | %12s\n", p.name,
+                engine.ComposedEpsilon(), s.l1_error.mean(),
+                s.OverallRelativeError(),
+                FormatSeconds(s.total_mpc_seconds).c_str());
+  }
+  std::printf("(composed guarantee: eps1-DP uploads + eps2-DP view updates "
+              "=> (eps1+eps2)-DP total)\n");
+}
+
+void AblationOperator(uint64_t steps) {
+  PrintHeader(
+      "Ablation B: sort-merge (Example 5.1) vs nested-loop (Algorithm 4)");
+  const DatasetSpec spec = MakeTpcDs(steps / 2);
+  std::printf("%12s | %8s | %12s | %12s\n", "operator", "avg L1",
+              "avg Transform", "total MPC");
+  for (const auto op : {TransformOperator::kSortMergeJoin,
+                        TransformOperator::kNestedLoopJoin}) {
+    IncShrinkConfig cfg = WithStrategy(spec.config, Strategy::kDpTimer);
+    cfg.op = op;
+    const RunSummary s = RunWorkload(cfg, spec.workload);
+    std::printf("%12s | %8.2f | %12s | %12s\n",
+                op == TransformOperator::kSortMergeJoin ? "sort-merge"
+                                                        : "nested-loop",
+                s.l1_error.mean(),
+                FormatSeconds(s.transform_seconds.mean()).c_str(),
+                FormatSeconds(s.total_mpc_seconds).c_str());
+  }
+  std::printf("(same accuracy; the quadratic nested-loop pays in MPC time "
+              "as inputs grow)\n");
+}
+
+void AblationFlush(uint64_t steps) {
+  PrintHeader("Ablation C: cache flush sizing (Theorem 4)");
+  const DatasetSpec spec = MakeTpcDs(steps);
+  struct Variant {
+    const char* name;
+    uint32_t interval;
+    uint32_t size;
+  } variants[] = {
+      {"no flush", 0, 0},
+      {"theorem-sized", 120, 120},
+      {"starving (s=8)", 120, 8},
+  };
+  std::printf("%16s | %8s | %8s | %12s | %12s\n", "flush", "avg L1",
+              "max L1", "final cache", "view rows");
+  for (const Variant& v : variants) {
+    IncShrinkConfig cfg = WithStrategy(spec.config, Strategy::kDpTimer);
+    cfg.flush_interval = v.interval;
+    cfg.flush_size = v.size;
+    const RunSummary s = RunWorkload(cfg, spec.workload);
+    std::printf("%16s | %8.2f | %8.2f | %12llu | %12llu\n", v.name,
+                s.l1_error.mean(), s.l1_error.max(),
+                static_cast<unsigned long long>(s.final_cache_rows),
+                static_cast<unsigned long long>(s.final_view_rows));
+  }
+  std::printf("(a starving flush recycles deferred real tuples: permanent "
+              "error; no flush lets the cache grow unboundedly)\n");
+}
+
+void AblationAllocation(uint64_t steps) {
+  PrintHeader(
+      "Ablation D: multi-level pipeline + Appendix-D.2 budget allocation");
+  // Build the pipeline stream: filtered T1 joined against T2.
+  std::vector<std::vector<LogicalRecord>> t1(steps), t2(steps);
+  Rng rng(77);
+  Word rid = 1, key = 1;
+  for (uint64_t t = 0; t + 4 < steps; ++t) {
+    for (int i = 0; i < 3; ++i) {
+      const bool passes = rng.Bernoulli(0.5);
+      const Word k = key++;
+      t1[t].push_back({t + 1, rid++, k, static_cast<Word>(t + 1),
+                       passes ? 150u : 50u});
+      t2[t + 2].push_back({t + 3, rid++, k, static_cast<Word>(t + 3), 0});
+    }
+  }
+
+  // Operator specs for the optimizer: the filter touches C1 rows/step; the
+  // join touches the filtered stream plus the T2 window.
+  std::vector<OperatorSpec> ops(2);
+  ops[0].kind = OperatorSpec::Kind::kFilter;
+  ops[0].input_rows1 = 4 * steps;
+  ops[0].output_rows = 3 * steps / 2;
+  ops[0].sensitivity = 1;
+  ops[0].releases = steps / 2;
+  ops[1].kind = OperatorSpec::Kind::kJoin;
+  ops[1].input_rows1 = 3 * steps / 2;
+  ops[1].input_rows2 = 4 * steps;
+  ops[1].output_rows = 3 * steps / 2;
+  ops[1].sensitivity = 10;
+  ops[1].releases = steps / 3;
+
+  const double eps_total = 3.0;
+  const AllocationResult opt =
+      OptimizePrivacyAllocation(ops, eps_total, /*lg_total=*/1e9);
+
+  auto run = [&](const char* name, double eps1, double eps2) {
+    MultiLevelPipeline::Config cfg;
+    cfg.eps1 = eps1;
+    cfg.eps2 = eps2;
+    cfg.filter = FilterSpec{100, 0xFFFFFFFF};
+    cfg.join = JoinSpec{0, 10, true, 1, true, true};
+    cfg.omega = 1;
+    cfg.budget_b = 10;
+    cfg.window_steps = 8;
+    cfg.timer_T1 = 2;
+    cfg.timer_T2 = 3;
+    cfg.upload_rows_t1 = 4;
+    cfg.upload_rows_t2 = 4;
+    MultiLevelPipeline pipeline(cfg);
+    for (size_t i = 0; i < t1.size(); ++i) {
+      INCSHRINK_CHECK(pipeline.Step(t1[i], t2[i]).ok());
+    }
+    const RunSummary s = pipeline.Summary();
+    std::printf("%12s | eps=(%.2f, %.2f) | %8.2f | %10s | %12s\n", name,
+                eps1, eps2, s.l1_error.mean(),
+                FormatSeconds(s.qet_seconds.mean()).c_str(),
+                FormatSeconds(s.total_mpc_seconds).c_str());
+  };
+
+  std::printf("%12s | %18s | %8s | %10s | %12s\n", "allocation",
+              "(eps1, eps2)", "avg L1", "avg QET", "total MPC");
+  run("uniform", eps_total / 2, eps_total / 2);
+  run("optimized", opt.eps[0], opt.eps[1]);
+  std::printf("(optimizer E_Q: uniform %.4f -> optimized %.4f)\n",
+              QueryEfficiency(ops, {eps_total / 2, eps_total / 2}),
+              opt.efficiency);
+}
+
+void AblationFilterView(uint64_t steps) {
+  PrintHeader("Ablation E: filter-based views (Appendix A.1.1)");
+  std::vector<std::vector<LogicalRecord>> t1(steps), t2(steps);
+  Rng rng(88);
+  Word rid = 1;
+  for (uint64_t t = 0; t < steps; ++t) {
+    const uint64_t n = rng.Uniform(5);
+    for (uint64_t i = 0; i < n; ++i) {
+      t1[t].push_back({t + 1, rid++, rid, static_cast<Word>(t + 1),
+                       static_cast<Word>(rng.Uniform(300))});
+    }
+  }
+  std::printf("%9s | %8s | %8s | %12s | %10s\n", "strategy", "avg L1",
+              "rel.err", "avg QET", "view rows");
+  for (const Strategy strategy : {Strategy::kDpTimer, Strategy::kDpAnt,
+                                  Strategy::kEp, Strategy::kNm}) {
+    IncShrinkConfig cfg;
+    cfg.eps = 1.5;
+    cfg.omega = 1;
+    cfg.budget_b = 1;
+    cfg.view_kind = ViewKind::kFilter;
+    cfg.filter = FilterSpec{100, 199};
+    cfg.join.omega = 1;
+    cfg.strategy = strategy;
+    cfg.timer_T = 5;
+    cfg.ant_theta = 4;
+    cfg.flush_interval = 0;
+    cfg.upload_rows_t1 = 6;
+    cfg.upload_rows_t2 = 6;
+    Engine engine(cfg);
+    for (size_t i = 0; i < t1.size(); ++i) {
+      INCSHRINK_CHECK(engine.Step(t1[i], t2[i]).ok());
+    }
+    const RunSummary s = engine.Summary();
+    std::printf("%9s | %8.2f | %8.3f | %12s | %10llu\n",
+                StrategyName(strategy), s.l1_error.mean(),
+                s.OverallRelativeError(),
+                FormatSeconds(s.qet_seconds.mean()).c_str(),
+                static_cast<unsigned long long>(s.final_view_rows));
+  }
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const Options opt = ParseOptions(argc, argv);
+  AblationDpSync(opt.steps_tpcds / 2);
+  std::printf("\n");
+  AblationOperator(opt.steps_tpcds / 2);
+  std::printf("\n");
+  AblationFlush(opt.steps_tpcds);
+  std::printf("\n");
+  AblationAllocation(60);
+  std::printf("\n");
+  AblationFilterView(opt.steps_tpcds / 2);
+  return 0;
+}

@@ -1,0 +1,89 @@
+#pragma once
+
+// Shared setup for the paper-reproduction bench binaries: dataset
+// construction matching Section 7's configurations, plus tiny CLI parsing
+// so runs can be scaled up (`--steps-tpcds N --steps-cpdb N`).
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+
+#include "src/core/engine.h"
+#include "src/workload/generators.h"
+#include "src/workload/runner.h"
+
+namespace incshrink::bench {
+
+struct Options {
+  uint64_t steps_tpcds = 240;
+  uint64_t steps_cpdb = 144;
+};
+
+inline Options ParseOptions(int argc, char** argv) {
+  Options opt;
+  for (int i = 1; i + 1 < argc; ++i) {
+    if (std::strcmp(argv[i], "--steps-tpcds") == 0) {
+      opt.steps_tpcds = std::strtoull(argv[i + 1], nullptr, 10);
+    } else if (std::strcmp(argv[i], "--steps-cpdb") == 0) {
+      opt.steps_cpdb = std::strtoull(argv[i + 1], nullptr, 10);
+    }
+  }
+  return opt;
+}
+
+struct DatasetSpec {
+  std::string name;
+  GeneratedWorkload workload;
+  IncShrinkConfig config;
+};
+
+/// TPC-ds-like dataset with the paper's Q1 parameters (omega = 1, b = 10,
+/// T = 10, theta = 30). `view_rate_scale` builds the Fig.6 Sparse/Burst
+/// variants; `scale` builds the Fig.9 size groups.
+inline DatasetSpec MakeTpcDs(uint64_t steps, double view_rate_scale = 1.0,
+                             double scale = 1.0, bool bursty = false) {
+  TpcDsParams p;
+  p.steps = steps;
+  p.view_rate_scale = view_rate_scale;
+  p.scale = scale;
+  p.bursty = bursty;
+  DatasetSpec spec;
+  spec.name = "TPC-ds";
+  spec.workload = GenerateTpcDs(p);
+  spec.config = DefaultTpcDsConfig();
+  ScaleConfigBatches(&spec.config, scale);
+  return spec;
+}
+
+/// CPDB-like dataset with the paper's Q2 parameters (omega = 10, b = 20,
+/// T = 3, theta = 30, public Award relation).
+inline DatasetSpec MakeCpdb(uint64_t steps, double view_rate_scale = 1.0,
+                            double scale = 1.0, bool bursty = false) {
+  CpdbParams p;
+  p.steps = steps;
+  p.view_rate_scale = view_rate_scale;
+  p.scale = scale;
+  p.bursty = bursty;
+  DatasetSpec spec;
+  spec.name = "CPDB";
+  spec.workload = GenerateCpdb(p);
+  spec.config = DefaultCpdbConfig();
+  ScaleConfigBatches(&spec.config, scale);
+  return spec;
+}
+
+inline IncShrinkConfig WithStrategy(IncShrinkConfig cfg, Strategy s) {
+  cfg.strategy = s;
+  return cfg;
+}
+
+inline void PrintHeader(const char* title) {
+  std::printf("==============================================================="
+              "=================\n");
+  std::printf("%s\n", title);
+  std::printf("==============================================================="
+              "=================\n");
+}
+
+}  // namespace incshrink::bench

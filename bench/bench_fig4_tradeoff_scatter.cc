@@ -1,0 +1,36 @@
+// Reproduces **Figure 4**: the end-to-end accuracy/efficiency scatter —
+// every strategy plotted by (avg L1 error, avg QET) for both datasets.
+//
+// Paper shape: NM sits at the top (slowest, exact), EP upper-left (exact,
+// slow), OTM lower-right (fast, useless), and both DP protocols in the
+// bottom-middle — optimized for the dual objective.
+
+#include "bench/bench_common.h"
+
+using namespace incshrink;
+using namespace incshrink::bench;
+
+namespace {
+
+void RunDataset(const DatasetSpec& spec) {
+  std::printf("\n--- %s: avg L1 error (x) vs avg QET seconds (y) ---\n",
+              spec.name.c_str());
+  std::printf("%-10s %14s %14s\n", "series", "avg_L1_error", "avg_QET_s");
+  for (const Strategy s : {Strategy::kNm, Strategy::kEp, Strategy::kOtm,
+                           Strategy::kDpAnt, Strategy::kDpTimer}) {
+    const RunSummary r =
+        RunWorkload(WithStrategy(spec.config, s), spec.workload);
+    std::printf("%-10s %14.3f %14.6f\n", StrategyName(s), r.l1_error.mean(),
+                r.qet_seconds.mean());
+  }
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const Options opt = ParseOptions(argc, argv);
+  PrintHeader("Figure 4: end-to-end comparison scatter (eps = 1.5)");
+  RunDataset(MakeTpcDs(opt.steps_tpcds));
+  RunDataset(MakeCpdb(opt.steps_cpdb));
+  return 0;
+}

@@ -1,0 +1,45 @@
+// Reproduces **Figure 5**: the privacy/accuracy and privacy/efficiency
+// trade-off — sweep eps in [0.01, 50] for both DP protocols on both
+// datasets, reporting average L1 error and average QET.
+//
+// Paper shape (Observations 3-4):
+//   * sDPTimer's L1 error decreases monotonically as eps grows;
+//   * sDPANT's L1 error first rises then falls (small eps -> early updates
+//     -> small c*; large eps -> less deferred data);
+//   * QET decreases with eps for both (fewer dummies synchronized).
+
+#include "bench/bench_common.h"
+
+using namespace incshrink;
+using namespace incshrink::bench;
+
+namespace {
+
+void RunDataset(const DatasetSpec& spec) {
+  std::printf("\n--- %s ---\n", spec.name.c_str());
+  std::printf("%8s | %20s | %20s\n", "", "avg L1 error", "avg QET (s)");
+  std::printf("%8s | %9s %10s | %9s %10s\n", "eps", "sDPTimer", "sDPANT",
+              "sDPTimer", "sDPANT");
+  std::printf("---------+----------------------+---------------------\n");
+  for (const double eps : {0.01, 0.1, 0.5, 1.0, 1.5, 5.0, 10.0, 50.0}) {
+    IncShrinkConfig cfg = spec.config;
+    cfg.eps = eps;
+    const AveragedRun timer = RunWorkloadAveraged(
+        WithStrategy(cfg, Strategy::kDpTimer), spec.workload, 5);
+    const AveragedRun ant = RunWorkloadAveraged(
+        WithStrategy(cfg, Strategy::kDpAnt), spec.workload, 5);
+    std::printf("%8.2f | %9.2f %10.2f | %9.5f %10.5f\n", eps,
+                timer.l1_error, ant.l1_error, timer.qet_seconds,
+                ant.qet_seconds);
+  }
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const Options opt = ParseOptions(argc, argv);
+  PrintHeader("Figure 5: privacy vs accuracy / efficiency (eps sweep)");
+  RunDataset(MakeTpcDs(opt.steps_tpcds));
+  RunDataset(MakeCpdb(opt.steps_cpdb));
+  return 0;
+}

@@ -1,0 +1,50 @@
+// Reproduces **Figure 7**: DP protocols with varying non-privacy parameters
+// — the update interval T swept over [1, 100] with the sDPANT threshold set
+// consistently (theta = rate * T), at three privacy levels eps in
+// {0.1, 1, 10}. Each run is one (avg L1 error, avg QET) point.
+//
+// Paper shape (Observation 6): at small eps, sDPANT points sit upper-left
+// (accurate, slower) and sDPTimer lower-right (fast, less accurate); the
+// two clouds converge as eps grows and essentially coincide at eps = 10.
+
+#include "bench/bench_common.h"
+
+using namespace incshrink;
+using namespace incshrink::bench;
+
+namespace {
+
+void RunDataset(const char* name, bool cpdb, uint64_t steps,
+                double view_rate) {
+  for (const double eps : {0.1, 1.0, 10.0}) {
+    std::printf("\n--- %s, eps = %.1f ---\n", name, eps);
+    std::printf("%5s %7s | %10s %10s | %10s %10s\n", "T", "theta",
+                "Timer L1", "Timer QET", "ANT L1", "ANT QET");
+    for (const uint32_t T : {1u, 3u, 10u, 30u, 100u}) {
+      const DatasetSpec spec = cpdb ? MakeCpdb(steps) : MakeTpcDs(steps);
+      IncShrinkConfig cfg = spec.config;
+      cfg.eps = eps;
+      cfg.timer_T = T;
+      cfg.ant_theta = std::max(1.0, view_rate * T);
+      const AveragedRun timer = RunWorkloadAveraged(
+          WithStrategy(cfg, Strategy::kDpTimer), spec.workload, 3);
+      const AveragedRun ant = RunWorkloadAveraged(
+          WithStrategy(cfg, Strategy::kDpAnt), spec.workload, 3);
+      std::printf("%5u %7.0f | %10.2f %10.5f | %10.2f %10.5f\n", T,
+                  cfg.ant_theta, timer.l1_error, timer.qet_seconds,
+                  ant.l1_error, ant.qet_seconds);
+    }
+  }
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const Options opt = ParseOptions(argc, argv);
+  PrintHeader("Figure 7: varying T / theta at eps = 0.1, 1, 10");
+  // Paper rates: ~2.7 (TPC-ds) and ~9.8 (CPDB) new view entries per step,
+  // so theta = 3T and 10T respectively.
+  RunDataset("TPC-ds", /*cpdb=*/false, opt.steps_tpcds / 2, 3.0);
+  RunDataset("CPDB", /*cpdb=*/true, opt.steps_cpdb / 2, 10.0);
+  return 0;
+}

@@ -1,0 +1,45 @@
+// Reproduces **Figure 8**: the effect of the truncation bound omega on the
+// CPDB workload (Q2 has join multiplicity > 1; Q1's multiplicity is 1, so
+// the paper fixes omega = 1 there). omega sweeps 2..32 with b = 2*omega.
+//
+// Paper shape (Observations 7-8):
+//   (a) L1 error falls steeply while omega < the maximum record
+//       multiplicity (true joins are being dropped), then flattens /
+//       slightly rises as only the DP noise scale (prop. to b) keeps
+//       growing — rising for sDPTimer, flat-to-falling for sDPANT;
+//   (b) QET grows with omega (more padding reaches the view);
+//   (c) Transform time is roughly flat in omega (its input size is set by
+//       the upload batches), while (d) Shrink time grows with omega (its
+//       input — the cache — scales with omega).
+
+#include "bench/bench_common.h"
+
+using namespace incshrink;
+using namespace incshrink::bench;
+
+int main(int argc, char** argv) {
+  const Options opt = ParseOptions(argc, argv);
+  PrintHeader("Figure 8: truncation bound omega sweep (CPDB, b = 2*omega)");
+  std::printf("%6s | %9s %9s | %9s %9s | %9s %9s | %9s %9s\n", "omega",
+              "Tmr L1", "ANT L1", "Tmr QET", "ANT QET", "Tmr Trans",
+              "ANT Trans", "Tmr Shrnk", "ANT Shrnk");
+  std::printf("-------+---------------------+---------------------+----------"
+              "-----------+---------------------\n");
+  for (const uint32_t omega : {2u, 4u, 8u, 16u, 32u}) {
+    const DatasetSpec spec = MakeCpdb(opt.steps_cpdb);
+    IncShrinkConfig cfg = spec.config;
+    cfg.omega = omega;
+    cfg.join.omega = omega;
+    cfg.budget_b = 2 * omega;
+    const AveragedRun timer = RunWorkloadAveraged(
+        WithStrategy(cfg, Strategy::kDpTimer), spec.workload, 3);
+    const AveragedRun ant = RunWorkloadAveraged(
+        WithStrategy(cfg, Strategy::kDpAnt), spec.workload, 3);
+    std::printf(
+        "%6u | %9.2f %9.2f | %9.5f %9.5f | %9.4f %9.4f | %9.4f %9.4f\n",
+        omega, timer.l1_error, ant.l1_error, timer.qet_seconds,
+        ant.qet_seconds, timer.transform_seconds, ant.transform_seconds,
+        timer.shrink_seconds, ant.shrink_seconds);
+  }
+  return 0;
+}

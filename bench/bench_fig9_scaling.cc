@@ -1,0 +1,44 @@
+// Reproduces **Figure 9**: scaling experiments — the stream is scaled to
+// 50%, 1x, 2x and 4x of its standard volume (both arrival rates and upload
+// batch sizes) and the DP protocols' *total* MPC maintenance time and
+// *total* query time are reported.
+//
+// Paper shape: both totals grow roughly linearly-to-superlinearly with the
+// data scale, with sDPTimer and sDPANT close to each other throughout.
+
+#include "bench/bench_common.h"
+
+using namespace incshrink;
+using namespace incshrink::bench;
+
+namespace {
+
+void RunDataset(const char* name, bool cpdb, uint64_t steps) {
+  std::printf("\n--- %s ---\n", name);
+  std::printf("%6s | %22s | %22s\n", "", "total MPC time (s)",
+              "total query time (s)");
+  std::printf("%6s | %10s %11s | %10s %11s\n", "scale", "sDPTimer",
+              "sDPANT", "sDPTimer", "sDPANT");
+  std::printf("-------+------------------------+----------------------\n");
+  for (const double scale : {0.5, 1.0, 2.0, 4.0}) {
+    const DatasetSpec spec =
+        cpdb ? MakeCpdb(steps, 1.0, scale) : MakeTpcDs(steps, 1.0, scale);
+    const AveragedRun timer = RunWorkloadAveraged(
+        WithStrategy(spec.config, Strategy::kDpTimer), spec.workload, 3);
+    const AveragedRun ant = RunWorkloadAveraged(
+        WithStrategy(spec.config, Strategy::kDpAnt), spec.workload, 3);
+    std::printf("%5.1fx | %10.2f %11.2f | %10.3f %11.3f\n", scale,
+                timer.total_mpc_seconds, ant.total_mpc_seconds,
+                timer.total_query_seconds, ant.total_query_seconds);
+  }
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const Options opt = ParseOptions(argc, argv);
+  PrintHeader("Figure 9: scaling experiments (50% - 4x data volume)");
+  RunDataset("TPC-ds", /*cpdb=*/false, opt.steps_tpcds);
+  RunDataset("CPDB", /*cpdb=*/true, opt.steps_cpdb);
+  return 0;
+}

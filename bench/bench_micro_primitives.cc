@@ -1,0 +1,173 @@
+// Microbenchmarks (google-benchmark) of the building blocks underneath the
+// paper experiments: XOR sharing, secure word ops, oblivious sort, the
+// truncated joins, cache reads and joint noise generation. These measure
+// *host* time of the simulated protocol (useful for harness scaling); the
+// simulated MPC cost of each op is reported as a counter.
+
+#include <benchmark/benchmark.h>
+
+#include "src/mpc/party.h"
+#include "src/mpc/protocol.h"
+#include "src/oblivious/cache_ops.h"
+#include "src/oblivious/filter.h"
+#include "src/oblivious/formats.h"
+#include "src/oblivious/join.h"
+#include "src/oblivious/sort.h"
+#include "src/relational/encode.h"
+
+namespace incshrink {
+namespace {
+
+void BM_ShareRecover(benchmark::State& state) {
+  Rng rng(1);
+  for (auto _ : state) {
+    const WordShares s = ShareWord(rng.Next32(), &rng);
+    benchmark::DoNotOptimize(RecoverWord(s));
+  }
+}
+BENCHMARK(BM_ShareRecover);
+
+void BM_SecureAdd(benchmark::State& state) {
+  Party s0(0, 1), s1(1, 2);
+  Protocol2PC proto(&s0, &s1, CostModel::EmpLikeLan());
+  const WordShares a = proto.FreshShare(123);
+  const WordShares b = proto.FreshShare(456);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(proto.Add(a, b));
+  }
+}
+BENCHMARK(BM_SecureAdd);
+
+void BM_JointLaplace(benchmark::State& state) {
+  Party s0(0, 1), s1(1, 2);
+  Protocol2PC proto(&s0, &s1, CostModel::EmpLikeLan());
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(proto.JointLaplace(6.67));
+  }
+}
+BENCHMARK(BM_JointLaplace);
+
+SharedRows RandomViewRows(Rng* rng, size_t n) {
+  SharedRows rows(kViewWidth);
+  uint32_t seq = 0;
+  for (size_t i = 0; i < n; ++i) {
+    if (rng->Bernoulli(0.3)) {
+      std::vector<Word> row(kViewWidth, 0);
+      row[kViewIsViewCol] = 1;
+      row[kViewSortKeyCol] = MakeCacheSortKey(true, seq++);
+      rows.AppendSecretRow(row, rng);
+    } else {
+      AppendDummyViewRow(&rows, rng, &seq);
+    }
+  }
+  return rows;
+}
+
+void BM_ObliviousSort(benchmark::State& state) {
+  const size_t n = static_cast<size_t>(state.range(0));
+  Party s0(0, 1), s1(1, 2);
+  Protocol2PC proto(&s0, &s1, CostModel::EmpLikeLan());
+  Rng rng(3);
+  for (auto _ : state) {
+    state.PauseTiming();
+    SharedRows rows = RandomViewRows(&rng, n);
+    const CircuitStats before = proto.Snapshot();
+    state.ResumeTiming();
+    ObliviousSort(&proto, &rows, kViewSortKeyCol, false);
+    state.PauseTiming();
+    state.counters["sim_mpc_s"] = proto.SimulatedSecondsSince(before);
+    state.ResumeTiming();
+  }
+  state.SetComplexityN(static_cast<int64_t>(n));
+}
+BENCHMARK(BM_ObliviousSort)->Arg(64)->Arg(256)->Arg(1024)->Arg(4096)
+    ->Complexity();
+
+void BM_CacheRead(benchmark::State& state) {
+  const size_t n = static_cast<size_t>(state.range(0));
+  Party s0(0, 1), s1(1, 2);
+  Protocol2PC proto(&s0, &s1, CostModel::EmpLikeLan());
+  Rng rng(4);
+  for (auto _ : state) {
+    state.PauseTiming();
+    SharedRows cache = RandomViewRows(&rng, n);
+    state.ResumeTiming();
+    benchmark::DoNotOptimize(ObliviousCacheRead(&proto, &cache, n / 4));
+  }
+}
+BENCHMARK(BM_CacheRead)->Arg(256)->Arg(1024);
+
+std::vector<LogicalRecord> RandomRecords(Rng* rng, size_t n, Word rid0) {
+  std::vector<LogicalRecord> recs;
+  for (size_t i = 0; i < n; ++i) {
+    recs.push_back({1, static_cast<Word>(rid0 + i),
+                    1 + rng->Next32() % 32, rng->Next32() % 50, 0});
+  }
+  return recs;
+}
+
+void BM_TruncatedSortMergeJoin(benchmark::State& state) {
+  const size_t n = static_cast<size_t>(state.range(0));
+  Party s0(0, 1), s1(1, 2);
+  Protocol2PC proto(&s0, &s1, CostModel::EmpLikeLan());
+  Rng rng(5);
+  JoinSpec spec{0, 10, true, 2, true, true};
+  for (auto _ : state) {
+    state.PauseTiming();
+    SharedRows t1(kSrcWidth), t2(kSrcWidth);
+    for (const auto& r : RandomRecords(&rng, n, 1))
+      t1.AppendSecretRow(EncodeSourceRow(r), &rng);
+    for (const auto& r : RandomRecords(&rng, n, 100000))
+      t2.AppendSecretRow(EncodeSourceRow(r), &rng);
+    uint32_t seq = 0;
+    state.ResumeTiming();
+    benchmark::DoNotOptimize(
+        TruncatedSortMergeJoin(&proto, t1, t2, spec, &seq));
+  }
+}
+BENCHMARK(BM_TruncatedSortMergeJoin)->Arg(32)->Arg(128)->Arg(512);
+
+void BM_TruncatedNestedLoopJoin(benchmark::State& state) {
+  const size_t n = static_cast<size_t>(state.range(0));
+  Party s0(0, 1), s1(1, 2);
+  Protocol2PC proto(&s0, &s1, CostModel::EmpLikeLan());
+  Rng rng(6);
+  JoinSpec spec{0, 10, true, 2, true, true};
+  for (auto _ : state) {
+    state.PauseTiming();
+    SharedRows t1(kSrcWidth + 1), t2(kSrcWidth + 1);
+    for (const auto& r : RandomRecords(&rng, n, 1)) {
+      std::vector<Word> row = EncodeSourceRow(r);
+      row.push_back(2);
+      t1.AppendSecretRow(row, &rng);
+    }
+    for (const auto& r : RandomRecords(&rng, n, 100000)) {
+      std::vector<Word> row = EncodeSourceRow(r);
+      row.push_back(2);
+      t2.AppendSecretRow(row, &rng);
+    }
+    uint32_t seq = 0;
+    state.ResumeTiming();
+    benchmark::DoNotOptimize(TruncatedNestedLoopJoin(
+        &proto, &t1, &t2, kSrcWidth, kSrcWidth, spec, &seq));
+  }
+}
+BENCHMARK(BM_TruncatedNestedLoopJoin)->Arg(16)->Arg(64);
+
+void BM_ObliviousCountWhere(benchmark::State& state) {
+  const size_t n = static_cast<size_t>(state.range(0));
+  Party s0(0, 1), s1(1, 2);
+  Protocol2PC proto(&s0, &s1, CostModel::EmpLikeLan());
+  Rng rng(7);
+  const SharedRows view = RandomViewRows(&rng, n);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(ObliviousCountWhere(
+        &proto, view, kViewIsViewCol, ObliviousPredicate::True()));
+  }
+}
+BENCHMARK(BM_ObliviousCountWhere)->Arg(1024)->Arg(8192);
+
+}  // namespace
+}  // namespace incshrink
+
+BENCHMARK_MAIN();

@@ -1,0 +1,120 @@
+// Reproduces **Table 2**: aggregated end-to-end comparison of DP-Timer,
+// DP-ANT, OTM, EP and NM on both datasets — average query error (L1,
+// relative, improvement over OTM), average execution times (Transform,
+// Shrink, QET, improvements over NM and EP) and materialized view sizes.
+//
+// Paper reference points (shape, not absolute values — see EXPERIMENTS.md):
+//   * DP relative errors < 0.05, OTM relative error ~1, EP/NM exact;
+//   * QET: DP << EP << NM, with >= 7800x improvement of DP over NM;
+//   * view size: DP ~100-300x smaller than EP.
+
+#include <map>
+
+#include "bench/bench_common.h"
+
+using namespace incshrink;
+using namespace incshrink::bench;
+
+namespace {
+
+void RunDataset(const DatasetSpec& spec) {
+  std::map<Strategy, RunSummary> results;
+  for (const Strategy s : {Strategy::kDpTimer, Strategy::kDpAnt,
+                           Strategy::kOtm, Strategy::kEp, Strategy::kNm}) {
+    results[s] = RunWorkload(WithStrategy(spec.config, s), spec.workload);
+  }
+
+  const RunSummary& timer = results[Strategy::kDpTimer];
+  const RunSummary& ant = results[Strategy::kDpAnt];
+  const RunSummary& otm = results[Strategy::kOtm];
+  const RunSummary& ep = results[Strategy::kEp];
+  const RunSummary& nm = results[Strategy::kNm];
+
+  std::printf("\n--- %s (%llu steps, %llu true pairs) ---\n",
+              spec.name.c_str(),
+              static_cast<unsigned long long>(spec.workload.steps()),
+              static_cast<unsigned long long>(
+                  spec.workload.total_view_entries));
+  std::printf("%-28s %12s %12s %10s %10s %10s\n", "metric", "DP-Timer",
+              "DP-ANT", "OTM", "EP", "NM");
+
+  std::printf("%-28s %12.2f %12.2f %10.2f %10.2f %10.2f\n", "Avg L1 error",
+              timer.l1_error.mean(), ant.l1_error.mean(),
+              otm.l1_error.mean(), ep.l1_error.mean(), nm.l1_error.mean());
+  std::printf("%-28s %12.3f %12.3f %10.3f %10.3f %10.3f\n",
+              "Relative error", timer.OverallRelativeError(),
+              ant.OverallRelativeError(), otm.OverallRelativeError(),
+              ep.OverallRelativeError(), nm.OverallRelativeError());
+  std::printf("%-28s %12s %12s %10s %10s %10s\n", "Error imp. (vs OTM)",
+              FormatImprovement(otm.l1_error.mean() /
+                                std::max(1e-9, timer.l1_error.mean()))
+                  .c_str(),
+              FormatImprovement(otm.l1_error.mean() /
+                                std::max(1e-9, ant.l1_error.mean()))
+                  .c_str(),
+              "1x", "-", "-");
+
+  std::printf("%-28s %12.3f %12.3f %10s %10.3f %10s\n",
+              "Avg Transform time (s)", timer.transform_seconds.mean(),
+              ant.transform_seconds.mean(), "N/A",
+              ep.transform_seconds.mean(), "N/A");
+  std::printf("%-28s %12.3f %12.3f %10s %10s %10s\n", "Avg Shrink time (s)",
+              timer.shrink_seconds.mean(), ant.shrink_seconds.mean(), "N/A",
+              "N/A", "N/A");
+  std::printf("%-28s %12.4f %12.4f %10.4f %10.4f %10.2f\n", "Avg QET (s)",
+              timer.qet_seconds.mean(), ant.qet_seconds.mean(),
+              otm.qet_seconds.mean(), ep.qet_seconds.mean(),
+              nm.qet_seconds.mean());
+  std::printf("%-28s %12s %12s %10s %10s %10s\n", "QET imp. (over NM)",
+              FormatImprovement(nm.qet_seconds.mean() /
+                                timer.qet_seconds.mean())
+                  .c_str(),
+              FormatImprovement(nm.qet_seconds.mean() /
+                                ant.qet_seconds.mean())
+                  .c_str(),
+              "-",
+              FormatImprovement(nm.qet_seconds.mean() /
+                                ep.qet_seconds.mean())
+                  .c_str(),
+              "1x");
+  std::printf("%-28s %12s %12s %10s %10s %10s\n", "QET imp. (over EP)",
+              FormatImprovement(ep.qet_seconds.mean() /
+                                timer.qet_seconds.mean())
+                  .c_str(),
+              FormatImprovement(ep.qet_seconds.mean() /
+                                ant.qet_seconds.mean())
+                  .c_str(),
+              "-", "1x", "N/A");
+
+  std::printf("%-28s %12.3f %12.3f %10.3f %10.3f %10s\n",
+              "Avg view size (MB)", timer.final_view_mb, ant.final_view_mb,
+              otm.final_view_mb, ep.final_view_mb, "N/A");
+  std::printf("%-28s %12s %12s %10s %10s %10s\n", "View size imp. (vs EP)",
+              FormatImprovement(ep.final_view_mb /
+                                std::max(1e-9, timer.final_view_mb))
+                  .c_str(),
+              FormatImprovement(ep.final_view_mb /
+                                std::max(1e-9, ant.final_view_mb))
+                  .c_str(),
+              FormatImprovement(ep.final_view_mb /
+                                std::max(1e-9, otm.final_view_mb))
+                  .c_str(),
+              "1x", "N/A");
+  std::printf("%-28s %12llu %12llu %10llu %10llu %10llu\n", "View updates",
+              static_cast<unsigned long long>(timer.updates),
+              static_cast<unsigned long long>(ant.updates),
+              static_cast<unsigned long long>(otm.updates),
+              static_cast<unsigned long long>(ep.updates),
+              static_cast<unsigned long long>(nm.updates));
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const Options opt = ParseOptions(argc, argv);
+  PrintHeader(
+      "Table 2: end-to-end comparison (DP protocols vs OTM / EP / NM)");
+  RunDataset(MakeTpcDs(opt.steps_tpcds));
+  RunDataset(MakeCpdb(opt.steps_cpdb));
+  return 0;
+}

@@ -1,0 +1,56 @@
+// The paper's CPDB use case (query Q2): a private Allegation stream joined
+// against a *public* Award relation —
+//
+//   "How many times has an officer received an award despite having been
+//    found to have misconduct in the past 10 days?"
+//
+// This example shows two IncShrink-specific behaviours:
+//   1. public relations are uploaded unpadded and carry no privacy budget;
+//   2. the truncation bound omega trades accuracy for efficiency — we run
+//      the same stream with a generous and a starving omega.
+
+#include <cstdio>
+
+#include "src/core/engine.h"
+#include "src/workload/generators.h"
+#include "src/workload/runner.h"
+
+using namespace incshrink;
+
+int main() {
+  CpdbParams params;
+  params.steps = 72;  // one year of 5-day upload periods
+  const GeneratedWorkload workload = GenerateCpdb(params);
+
+  std::printf("CPDB-like stream: %llu allegations, %llu awards, "
+              "%llu qualifying pairs (avg %.1f new view entries/step)\n\n",
+              static_cast<unsigned long long>(workload.total_t1),
+              static_cast<unsigned long long>(workload.total_t2),
+              static_cast<unsigned long long>(workload.total_view_entries),
+              workload.avg_view_entries_per_step());
+
+  std::printf("%8s | %10s | %10s | %12s | %12s\n", "omega", "avg L1",
+              "rel. err", "avg QET", "Shrink/updt");
+  std::printf("---------+------------+------------+--------------+------------"
+              "--\n");
+  for (const uint32_t omega : {2u, 10u}) {
+    IncShrinkConfig config = DefaultCpdbConfig();
+    config.strategy = Strategy::kDpAnt;
+    config.omega = omega;
+    config.join.omega = omega;
+    config.budget_b = 2 * omega;  // the paper's Fig.8 convention
+    config.flush_interval = 24;
+
+    const RunSummary s = RunWorkload(config, workload);
+    std::printf("%8u | %10.2f | %10.3f | %12s | %12s\n", omega,
+                s.l1_error.mean(), s.relative_error.mean(),
+                FormatSeconds(s.qet_seconds.mean()).c_str(),
+                FormatSeconds(s.shrink_seconds.mean()).c_str());
+  }
+
+  std::printf(
+      "\nA small omega starves the view (many true joins truncated), a\n"
+      "large omega keeps every pair but pays more padding per invocation —\n"
+      "the trade-off of the paper's Section 7.4.\n");
+  return 0;
+}

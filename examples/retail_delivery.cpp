@@ -1,0 +1,110 @@
+// The paper's introductory use case (Section 1): a retail store and a
+// courier company outsource their private sales / delivery records to two
+// untrusted servers. The store owner wants a continuously answerable query:
+//
+//   "How many of my products were delivered on time (within 48 hours of the
+//    courier accepting the package)?"
+//
+// The servers maintain a materialized join between the two private streams
+// with IncShrink, so each query is a cheap scan of the view instead of a
+// full re-join of everything ever outsourced.
+
+#include <cstdio>
+#include <vector>
+
+#include "src/core/engine.h"
+#include "src/relational/growing_table.h"
+
+using namespace incshrink;
+
+namespace {
+
+// Hand-built two-week scenario, one step per day. Dates are in hours-as-days
+// granularity: delivery within 2 days == within 48 hours.
+struct Scenario {
+  std::vector<std::vector<LogicalRecord>> orders;      // the store's stream
+  std::vector<std::vector<LogicalRecord>> deliveries;  // the courier's stream
+};
+
+Scenario BuildScenario() {
+  Scenario s;
+  const uint64_t kDays = 30;
+  s.orders.resize(kDays);
+  s.deliveries.resize(kDays);
+  Rng rng(2024);
+  Word rid = 1, order_id = 1;
+  for (uint64_t day = 0; day < kDays; ++day) {
+    const uint64_t n_orders = 1 + rng.Uniform(3);
+    for (uint64_t i = 0; i < n_orders; ++i) {
+      const Word id = order_id++;
+      s.orders[day].push_back(
+          {day + 1, rid++, id, static_cast<Word>(day + 1), 0});
+      // 80% of packages are delivered, usually on time (0-2 days), the rest
+      // late (3-5 days) — late ones must NOT count.
+      if (rng.Bernoulli(0.8)) {
+        const bool on_time = rng.Bernoulli(0.75);
+        const uint32_t delay = on_time
+                                   ? static_cast<uint32_t>(rng.Uniform(3))
+                                   : 3 + static_cast<uint32_t>(rng.Uniform(3));
+        const uint64_t dday = day + delay;
+        if (dday < kDays) {
+          s.deliveries[dday].push_back({dday + 1, rid++, id,
+                                        static_cast<Word>(day + 1 + delay),
+                                        0});
+        }
+      }
+    }
+  }
+  return s;
+}
+
+}  // namespace
+
+int main() {
+  Scenario scenario = BuildScenario();
+
+  IncShrinkConfig config;
+  config.eps = 1.5;
+  config.omega = 1;      // an order is delivered at most once
+  config.budget_b = 4;   // participates in <= 4 daily Transform invocations
+  config.join = JoinSpec{0, 2, true, 1, true, true};  // within 48h
+  config.window_steps = 3;
+  config.strategy = Strategy::kDpAnt;  // update when ~theta new deliveries
+  config.ant_theta = 5;
+  config.flush_interval = 10;
+  config.flush_size = 10;
+  config.upload_rows_t1 = 4;
+  config.upload_rows_t2 = 4;
+  config.seed = 99;
+
+  Engine engine(config);
+  std::printf("day | on-time (truth) | server answer | view rows | synced\n");
+  std::printf("----+-----------------+---------------+-----------+-------\n");
+  for (size_t day = 0; day < scenario.orders.size(); ++day) {
+    const Status st =
+        engine.Step(scenario.orders[day], scenario.deliveries[day]);
+    if (!st.ok()) {
+      std::fprintf(stderr, "step failed: %s\n", st.ToString().c_str());
+      return 1;
+    }
+    const StepMetrics& m = engine.step_metrics().back();
+    std::printf("%3llu | %15llu | %13llu | %9llu | %s\n",
+                static_cast<unsigned long long>(m.t),
+                static_cast<unsigned long long>(m.true_count),
+                static_cast<unsigned long long>(m.view_answer),
+                static_cast<unsigned long long>(m.view_rows),
+                m.synced ? "yes" : "");
+  }
+
+  const RunSummary s = engine.Summary();
+  std::printf("\nAfter %llu days: true on-time count = %llu, "
+              "avg |error| = %.2f, %llu view updates posted.\n",
+              static_cast<unsigned long long>(s.steps),
+              static_cast<unsigned long long>(s.final_true_count),
+              s.l1_error.mean(),
+              static_cast<unsigned long long>(s.updates));
+  std::printf("Neither server ever saw a sale, a delivery, or a true count "
+              "— only DP-sized batches (eps = %.1f).\n",
+              engine.accountant().EventLevelEpsilon());
+  return 0;
+}

@@ -1,0 +1,22 @@
+#include "src/common/fixed_point.h"
+
+#include <cmath>
+#include <limits>
+
+namespace incshrink {
+
+double FixedPointOpenUnit(uint32_t z) {
+  const uint32_t low31 = z & 0x7FFFFFFFu;
+  return (static_cast<double>(low31) + 0.5) * 0x1.0p-31;
+}
+
+double SignFromMsb(uint32_t z) { return (z & 0x80000000u) ? 1.0 : -1.0; }
+
+uint32_t SaturatingToRing(double x) {
+  if (std::isnan(x) || x <= 0.0) return 0;
+  if (x >= static_cast<double>(std::numeric_limits<uint32_t>::max()))
+    return std::numeric_limits<uint32_t>::max();
+  return static_cast<uint32_t>(std::llround(x));
+}
+
+}  // namespace incshrink

@@ -1,0 +1,26 @@
+#pragma once
+
+#include <cstdint>
+
+namespace incshrink {
+
+/// \brief Fixed-point helpers used by the joint noise generator.
+///
+/// sDPTimer/sDPANT (paper Alg. 2 lines 4-6) convert a jointly computed random
+/// ring element z = z0 XOR z1 in Z_2^32 into a fixed-point seed r in (0, 1)
+/// and take the most significant bit of z as the Laplace sign. These helpers
+/// implement exactly that conversion.
+
+/// Converts the low 31 bits of `z` to a fixed-point value strictly inside
+/// (0, 1): r = (low31(z) + 0.5) / 2^31. Never returns 0 or 1, so ln(r) is
+/// finite — required by the inverse-CDF Laplace sampler.
+double FixedPointOpenUnit(uint32_t z);
+
+/// Returns +1.0 if the most significant bit of `z` is set, else -1.0.
+/// Used as the Laplace sign bit (paper: sign(msb(z))).
+double SignFromMsb(uint32_t z);
+
+/// Converts a double in [0, 2^32) to the nearest ring element (saturating).
+uint32_t SaturatingToRing(double x);
+
+}  // namespace incshrink

@@ -1,0 +1,26 @@
+#pragma once
+
+#include <cstdio>
+#include <cstdlib>
+
+namespace incshrink {
+
+/// Minimal check macros in the style of glog/Arrow's DCHECK family. These
+/// guard internal invariants (programming errors), never expected runtime
+/// failures — those return Status.
+#define INCSHRINK_CHECK(cond)                                          \
+  do {                                                                 \
+    if (!(cond)) {                                                     \
+      std::fprintf(stderr, "CHECK failed at %s:%d: %s\n", __FILE__,    \
+                   __LINE__, #cond);                                   \
+      std::abort();                                                    \
+    }                                                                  \
+  } while (0)
+
+#define INCSHRINK_CHECK_EQ(a, b) INCSHRINK_CHECK((a) == (b))
+#define INCSHRINK_CHECK_LE(a, b) INCSHRINK_CHECK((a) <= (b))
+#define INCSHRINK_CHECK_LT(a, b) INCSHRINK_CHECK((a) < (b))
+#define INCSHRINK_CHECK_GE(a, b) INCSHRINK_CHECK((a) >= (b))
+#define INCSHRINK_CHECK_GT(a, b) INCSHRINK_CHECK((a) > (b))
+
+}  // namespace incshrink

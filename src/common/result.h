@@ -1,0 +1,73 @@
+#pragma once
+
+#include <cassert>
+#include <utility>
+#include <variant>
+
+#include "src/common/status.h"
+
+namespace incshrink {
+
+/// \brief A value-or-status holder, analogous to arrow::Result / StatusOr.
+///
+/// A `Result<T>` either holds a value of type `T` or a non-OK `Status`
+/// explaining why the value is absent. Accessing the value of an errored
+/// result is a programming error (checked with assert in debug builds).
+template <typename T>
+class Result {
+ public:
+  /// Constructs a result holding a value (implicit to allow `return value;`).
+  Result(T value) : storage_(std::move(value)) {}  // NOLINT(runtime/explicit)
+
+  /// Constructs a result holding an error status. `status.ok()` must be false.
+  Result(Status status) : storage_(std::move(status)) {  // NOLINT
+    assert(!std::get<Status>(storage_).ok());
+  }
+
+  bool ok() const { return std::holds_alternative<T>(storage_); }
+
+  /// Returns the contained status; OK if a value is present.
+  Status status() const {
+    if (ok()) return Status::OK();
+    return std::get<Status>(storage_);
+  }
+
+  const T& value() const& {
+    assert(ok());
+    return std::get<T>(storage_);
+  }
+  T& value() & {
+    assert(ok());
+    return std::get<T>(storage_);
+  }
+  T&& value() && {
+    assert(ok());
+    return std::get<T>(std::move(storage_));
+  }
+
+  const T& operator*() const& { return value(); }
+  T& operator*() & { return value(); }
+  const T* operator->() const { return &value(); }
+  T* operator->() { return &value(); }
+
+  /// Returns the value if present, otherwise `fallback`.
+  T value_or(T fallback) const {
+    if (ok()) return value();
+    return fallback;
+  }
+
+ private:
+  std::variant<T, Status> storage_;
+};
+
+}  // namespace incshrink
+
+/// Assigns the value of a Result expression to `lhs`, or returns its status.
+#define INCSHRINK_ASSIGN_OR_RETURN(lhs, expr)             \
+  auto INCSHRINK_CONCAT_(result_, __LINE__) = (expr);     \
+  if (!INCSHRINK_CONCAT_(result_, __LINE__).ok())         \
+    return INCSHRINK_CONCAT_(result_, __LINE__).status(); \
+  lhs = std::move(INCSHRINK_CONCAT_(result_, __LINE__)).value()
+
+#define INCSHRINK_CONCAT_IMPL_(a, b) a##b
+#define INCSHRINK_CONCAT_(a, b) INCSHRINK_CONCAT_IMPL_(a, b)

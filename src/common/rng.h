@@ -1,0 +1,66 @@
+#pragma once
+
+#include <cstdint>
+#include <limits>
+
+namespace incshrink {
+
+/// \brief Deterministic, fast pseudo-random generator (xoshiro256**).
+///
+/// Used for share randomization, dummy payloads, workload generation and the
+/// party-contributed randomness that feeds joint noise generation. The
+/// generator is seedable so every experiment in this repository is exactly
+/// reproducible. It satisfies the C++ UniformRandomBitGenerator concept.
+class Rng {
+ public:
+  using result_type = uint64_t;
+
+  /// Seeds the generator; distinct seeds yield independent-looking streams
+  /// (seed expansion via splitmix64).
+  explicit Rng(uint64_t seed = 0x9E3779B97F4A7C15ull);
+
+  static constexpr result_type min() { return 0; }
+  static constexpr result_type max() {
+    return std::numeric_limits<uint64_t>::max();
+  }
+
+  /// Returns the next 64 uniform bits.
+  uint64_t Next64();
+  result_type operator()() { return Next64(); }
+
+  /// Returns the next 32 uniform bits.
+  uint32_t Next32() { return static_cast<uint32_t>(Next64() >> 32); }
+
+  /// Returns a uniform integer in [0, bound). `bound` must be > 0.
+  uint64_t Uniform(uint64_t bound);
+
+  /// Returns a uniform double in [0, 1).
+  double NextDouble();
+
+  /// Returns a uniform double in the open interval (0, 1) — never 0, suitable
+  /// for log-based samplers.
+  double NextDoubleOpen();
+
+  /// Samples from Exp(mean) via inversion.
+  double Exponential(double mean);
+
+  /// Samples from Lap(0, scale) via inversion (sign x Exp magnitude).
+  double Laplace(double scale);
+
+  /// Samples a Poisson variate with the given mean (Knuth for small mean,
+  /// normal approximation above 64).
+  uint64_t Poisson(double mean);
+
+  /// Samples a standard normal variate (Box-Muller).
+  double Normal(double mean, double stddev);
+
+  /// Returns true with probability p.
+  bool Bernoulli(double p) { return NextDouble() < p; }
+
+ private:
+  uint64_t s_[4];
+  bool have_cached_normal_ = false;
+  double cached_normal_ = 0.0;
+};
+
+}  // namespace incshrink

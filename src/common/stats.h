@@ -1,0 +1,124 @@
+#pragma once
+
+#include <algorithm>
+#include <cmath>
+#include <cstddef>
+#include <vector>
+
+namespace incshrink {
+
+/// \brief Streaming mean/variance accumulator (Welford's algorithm).
+///
+/// Used throughout the benchmark harness to aggregate per-query L1 errors,
+/// execution times and view sizes without storing every sample.
+class RunningStat {
+ public:
+  void Add(double x) {
+    ++count_;
+    const double delta = x - mean_;
+    mean_ += delta / static_cast<double>(count_);
+    m2_ += delta * (x - mean_);
+    min_ = count_ == 1 ? x : std::min(min_, x);
+    max_ = count_ == 1 ? x : std::max(max_, x);
+    sum_ += x;
+  }
+
+  size_t count() const { return count_; }
+  double mean() const { return count_ == 0 ? 0.0 : mean_; }
+  double sum() const { return sum_; }
+  double variance() const {
+    return count_ < 2 ? 0.0 : m2_ / static_cast<double>(count_ - 1);
+  }
+  double stddev() const { return std::sqrt(variance()); }
+  double min() const { return count_ == 0 ? 0.0 : min_; }
+  double max() const { return count_ == 0 ? 0.0 : max_; }
+
+ private:
+  size_t count_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double min_ = 0.0;
+  double max_ = 0.0;
+  double sum_ = 0.0;
+};
+
+/// \brief Sample container with quantile queries, for distribution checks in
+/// the property test suites (e.g. verifying the joint Laplace sampler).
+class SampleSet {
+ public:
+  void Add(double x) {
+    samples_.push_back(x);
+    sorted_ = false;
+  }
+
+  size_t size() const { return samples_.size(); }
+
+  double Mean() const {
+    if (samples_.empty()) return 0.0;
+    double s = 0;
+    for (double x : samples_) s += x;
+    return s / static_cast<double>(samples_.size());
+  }
+
+  double Variance() const {
+    if (samples_.size() < 2) return 0.0;
+    const double m = Mean();
+    double s = 0;
+    for (double x : samples_) s += (x - m) * (x - m);
+    return s / static_cast<double>(samples_.size() - 1);
+  }
+
+  /// Returns the q-quantile (0 <= q <= 1) via nearest-rank on sorted samples.
+  double Quantile(double q) {
+    if (samples_.empty()) return 0.0;
+    EnsureSorted();
+    const double rank = q * static_cast<double>(samples_.size() - 1);
+    const size_t lo = static_cast<size_t>(rank);
+    const size_t hi = std::min(lo + 1, samples_.size() - 1);
+    const double frac = rank - static_cast<double>(lo);
+    return samples_[lo] * (1.0 - frac) + samples_[hi] * frac;
+  }
+
+  /// Empirical CDF at x: fraction of samples <= x.
+  double Cdf(double x) {
+    if (samples_.empty()) return 0.0;
+    EnsureSorted();
+    const auto it = std::upper_bound(samples_.begin(), samples_.end(), x);
+    return static_cast<double>(it - samples_.begin()) /
+           static_cast<double>(samples_.size());
+  }
+
+  const std::vector<double>& samples() const { return samples_; }
+
+ private:
+  void EnsureSorted() {
+    if (!sorted_) {
+      std::sort(samples_.begin(), samples_.end());
+      sorted_ = true;
+    }
+  }
+
+  std::vector<double> samples_;
+  bool sorted_ = true;
+};
+
+/// Kolmogorov-Smirnov distance between a SampleSet and a reference CDF.
+/// `cdf` must be a monotone function mapping double -> [0,1].
+template <typename Cdf>
+double KsDistance(SampleSet& samples, Cdf cdf) {
+  double worst = 0.0;
+  const size_t n = samples.size();
+  if (n == 0) return 0.0;
+  std::vector<double> sorted = samples.samples();
+  std::sort(sorted.begin(), sorted.end());
+  for (size_t i = 0; i < n; ++i) {
+    const double expected = cdf(sorted[i]);
+    const double lo = static_cast<double>(i) / static_cast<double>(n);
+    const double hi = static_cast<double>(i + 1) / static_cast<double>(n);
+    worst = std::max(worst, std::max(std::abs(expected - lo),
+                                     std::abs(expected - hi)));
+  }
+  return worst;
+}
+
+}  // namespace incshrink

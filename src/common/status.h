@@ -1,0 +1,89 @@
+#pragma once
+
+#include <string>
+#include <utility>
+
+namespace incshrink {
+
+/// \brief Error categories used across the library.
+///
+/// Mirrors the RocksDB/Arrow convention of returning rich status objects
+/// instead of throwing exceptions on expected failure paths.
+enum class StatusCode {
+  kOk = 0,
+  kInvalidArgument,
+  kOutOfRange,
+  kNotFound,
+  kAlreadyExists,
+  kFailedPrecondition,
+  kInternal,
+  kUnimplemented,
+  kPrivacyBudgetExhausted,
+};
+
+/// \brief Lightweight status object carrying a code and a message.
+///
+/// All fallible public APIs in this library return `Status` (or `Result<T>`)
+/// rather than throwing. Construction of an OK status is allocation-free.
+class Status {
+ public:
+  /// Constructs an OK status.
+  Status() = default;
+
+  /// Constructs a status with the given code and message.
+  Status(StatusCode code, std::string message)
+      : code_(code), message_(std::move(message)) {}
+
+  static Status OK() { return Status(); }
+  static Status InvalidArgument(std::string msg) {
+    return Status(StatusCode::kInvalidArgument, std::move(msg));
+  }
+  static Status OutOfRange(std::string msg) {
+    return Status(StatusCode::kOutOfRange, std::move(msg));
+  }
+  static Status NotFound(std::string msg) {
+    return Status(StatusCode::kNotFound, std::move(msg));
+  }
+  static Status AlreadyExists(std::string msg) {
+    return Status(StatusCode::kAlreadyExists, std::move(msg));
+  }
+  static Status FailedPrecondition(std::string msg) {
+    return Status(StatusCode::kFailedPrecondition, std::move(msg));
+  }
+  static Status Internal(std::string msg) {
+    return Status(StatusCode::kInternal, std::move(msg));
+  }
+  static Status Unimplemented(std::string msg) {
+    return Status(StatusCode::kUnimplemented, std::move(msg));
+  }
+  static Status PrivacyBudgetExhausted(std::string msg) {
+    return Status(StatusCode::kPrivacyBudgetExhausted, std::move(msg));
+  }
+
+  bool ok() const { return code_ == StatusCode::kOk; }
+  StatusCode code() const { return code_; }
+  const std::string& message() const { return message_; }
+
+  /// Human-readable rendering, e.g. "InvalidArgument: bad omega".
+  std::string ToString() const;
+
+  bool operator==(const Status& other) const {
+    return code_ == other.code_ && message_ == other.message_;
+  }
+
+ private:
+  StatusCode code_ = StatusCode::kOk;
+  std::string message_;
+};
+
+/// Returns the canonical name of a status code ("OK", "InvalidArgument", ...).
+const char* StatusCodeName(StatusCode code);
+
+}  // namespace incshrink
+
+/// Propagates a non-OK status to the caller, RocksDB-style.
+#define INCSHRINK_RETURN_NOT_OK(expr)             \
+  do {                                            \
+    ::incshrink::Status _st = (expr);             \
+    if (!_st.ok()) return _st;                    \
+  } while (0)

@@ -1,0 +1,20 @@
+#include "src/core/analyst.h"
+
+#include "src/oblivious/formats.h"
+
+namespace incshrink {
+
+ObliviousPredicate RewriteToViewPredicate(const AnalystQuery& query) {
+  switch (query.kind) {
+    case AnalystQuery::Kind::kCountAll:
+      return ObliviousPredicate::True();
+    case AnalystQuery::Kind::kCountDateRange:
+      return ObliviousPredicate::ColumnBetween(kViewDate2Col, query.lo,
+                                               query.hi);
+    case AnalystQuery::Kind::kCountKeyEquals:
+      return ObliviousPredicate::ColumnEquals(kViewKeyCol, query.key);
+  }
+  return ObliviousPredicate::True();
+}
+
+}  // namespace incshrink

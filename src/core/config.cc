@@ -1,0 +1,50 @@
+#include "src/core/config.h"
+
+namespace incshrink {
+
+const char* StrategyName(Strategy s) {
+  switch (s) {
+    case Strategy::kDpTimer:
+      return "DP-Timer";
+    case Strategy::kDpAnt:
+      return "DP-ANT";
+    case Strategy::kEp:
+      return "EP";
+    case Strategy::kOtm:
+      return "OTM";
+    case Strategy::kNm:
+      return "NM";
+  }
+  return "Unknown";
+}
+
+Status IncShrinkConfig::Validate() const {
+  if (eps <= 0) return Status::InvalidArgument("eps must be positive");
+  if (omega == 0) return Status::InvalidArgument("omega must be positive");
+  if (budget_b < omega)
+    return Status::InvalidArgument("budget b must be >= omega");
+  if (view_kind == ViewKind::kWindowJoin && join.omega != omega)
+    return Status::InvalidArgument("join.omega must equal omega");
+  if (view_kind == ViewKind::kFilter && filter.lo > filter.hi)
+    return Status::InvalidArgument("filter range is empty");
+  if (strategy == Strategy::kDpTimer && timer_T == 0)
+    return Status::InvalidArgument("timer T must be positive");
+  if (strategy == Strategy::kDpAnt && ant_theta <= 0)
+    return Status::InvalidArgument("ANT threshold must be positive");
+  if (upload_rows_t1 == 0 || upload_rows_t2 == 0)
+    return Status::InvalidArgument("upload batch sizes must be positive");
+  for (const UploadPolicyConfig* policy :
+       {&upload_policy1, &upload_policy2}) {
+    if (policy->kind != UploadPolicyKind::kFixedSize &&
+        policy->eps_sync <= 0) {
+      return Status::InvalidArgument("DP upload policy needs eps_sync > 0");
+    }
+    if (policy->kind == UploadPolicyKind::kDpTimerSync &&
+        policy->sync_interval == 0) {
+      return Status::InvalidArgument("sync_interval must be positive");
+    }
+  }
+  return Status::OK();
+}
+
+}  // namespace incshrink

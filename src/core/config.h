@@ -1,0 +1,96 @@
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "src/common/status.h"
+#include "src/core/upload_policy.h"
+#include "src/mpc/cost_model.h"
+#include "src/oblivious/join.h"
+
+namespace incshrink {
+
+/// Which view-update strategy the servers deploy.
+enum class Strategy : uint8_t {
+  kDpTimer,  ///< sDPTimer (Alg. 2): update every T steps with DP-sized batch
+  kDpAnt,    ///< sDPANT (Alg. 3): SVT-triggered updates with DP-sized batch
+  kEp,       ///< exhaustive padding: sync the fully padded output each step
+  kOtm,      ///< one-time materialization: materialize once, never update
+  kNm,       ///< non-materialized: re-join the full DS for every query
+};
+
+const char* StrategyName(Strategy s);
+
+/// Which truncated-transformation operator Transform compiles.
+enum class TransformOperator : uint8_t {
+  kSortMergeJoin,   ///< Example 5.1 (default)
+  kNestedLoopJoin,  ///< Algorithm 4 (appendix alternative)
+};
+
+/// What the materialized view computes.
+enum class ViewKind : uint8_t {
+  kWindowJoin,  ///< windowed equi-join of the two streams (Q1/Q2)
+  kFilter,      ///< oblivious selection over the T1 stream (Appendix A.1.1)
+};
+
+/// Standing selection predicate of a filter view: keep rows whose payload
+/// column lies in [lo, hi]. Selection has stability 1 (each record yields at
+/// most one view row), so omega = 1 suffices.
+struct FilterSpec {
+  Word lo = 0;
+  Word hi = 0xFFFFFFFFu;
+};
+
+/// \brief Full configuration of one IncShrink deployment.
+///
+/// Defaults mirror the paper's default setting (Section 7): eps = 1.5,
+/// cache flush every f = 2000 steps with flush size s = 15, sDPANT threshold
+/// theta = 30.
+struct IncShrinkConfig {
+  // --- privacy ---
+  double eps = 1.5;         ///< event-level privacy parameter
+  uint32_t omega = 1;       ///< per-invocation truncation bound
+  uint32_t budget_b = 10;   ///< lifetime contribution budget per record
+
+  // --- view definition ---
+  ViewKind view_kind = ViewKind::kWindowJoin;
+  JoinSpec join;            ///< windowed equi-join view (Q1/Q2 shape)
+  FilterSpec filter;        ///< selection predicate (kFilter views)
+  /// Upload steps a record stays eligible as a window partner: records older
+  /// than this never satisfy the window predicate, so Transform skips them.
+  uint32_t window_steps = 10;
+  TransformOperator op = TransformOperator::kSortMergeJoin;
+  bool t2_is_public = false;  ///< CPDB: the Award relation is public
+
+  // --- update strategy ---
+  Strategy strategy = Strategy::kDpTimer;
+  uint32_t timer_T = 10;     ///< sDPTimer update interval
+  double ant_theta = 30;     ///< sDPANT synchronization threshold
+
+  // --- cache flush (Section 5.2.1) ---
+  uint32_t flush_interval = 2000;  ///< f; 0 disables flushing
+  uint32_t flush_size = 15;        ///< s
+
+  // --- owner update policy ---
+  uint32_t upload_rows_t1 = 8;  ///< C_r for the T1 owner (fixed-size policy)
+  uint32_t upload_rows_t2 = 8;  ///< C_r for the T2 owner
+  /// Record synchronization strategies (Section 8 "Connecting with
+  /// DP-Sync"). Defaults to the fixed-size policy the prototype assumes.
+  UploadPolicyConfig upload_policy1;
+  UploadPolicyConfig upload_policy2;
+
+  /// Whether Transform obliviously compacts its padded operator outputs to
+  /// the tight public bound before caching. The DP protocols rely on this
+  /// to keep the cache small; the EP baseline materializes the raw
+  /// exhaustively padded outputs (the engine clears this flag for EP).
+  bool compact_transform_output = true;
+
+  // --- simulation ---
+  CostModel cost_model = CostModel::EmpLikeLan();
+  uint64_t seed = 42;
+
+  /// Validates parameter consistency (omega <= b, eps > 0, ...).
+  Status Validate() const;
+};
+
+}  // namespace incshrink

@@ -1,0 +1,293 @@
+#include "src/core/engine.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "src/common/logging.h"
+#include "src/oblivious/cache_ops.h"
+#include "src/oblivious/filter.h"
+#include "src/oblivious/formats.h"
+#include "src/oblivious/join.h"
+#include "src/relational/encode.h"
+
+namespace incshrink {
+
+namespace {
+
+IncShrinkConfig AdjustForStrategy(IncShrinkConfig config) {
+  if (config.strategy == Strategy::kEp) {
+    // EP's defining behaviour: materialize the exhaustively padded MPC
+    // outputs verbatim (no oblivious compaction).
+    config.compact_transform_output = false;
+  }
+  return config;
+}
+
+}  // namespace
+
+Engine::Engine(const IncShrinkConfig& config)
+    : config_(AdjustForStrategy(config)),
+      s0_(0, config.seed * 0x9E3779B97F4A7C15ull + 1),
+      s1_(1, config.seed * 0xC2B2AE3D27D4EB4Full + 2),
+      proto_(&s0_, &s1_, config.cost_model),
+      accountant_(config.eps, config.budget_b, config.omega),
+      store1_(kSrcWidth),
+      store2_(kSrcWidth),
+      cache_(&proto_),
+      transform_(&proto_, config_, &accountant_),
+      truth_(WindowJoinQuery{config.join.window_lo, config.join.window_hi,
+                             config.join.use_window}),
+      owner_rng_(config.seed ^ 0xD1B54A32D192ED03ull),
+      uploader1_(config.upload_policy1, config.upload_rows_t1,
+                 /*is_public=*/false, config.seed + 101),
+      uploader2_(config.upload_policy2, config.upload_rows_t2,
+                 config.t2_is_public, config.seed + 202) {
+  INCSHRINK_CHECK(config.Validate().ok());
+  if (config.strategy == Strategy::kDpTimer) {
+    timer_ = std::make_unique<ShrinkTimer>(&proto_, config_);
+  } else if (config.strategy == Strategy::kDpAnt) {
+    ant_ = std::make_unique<ShrinkAnt>(&proto_, config_);
+  }
+}
+
+uint64_t Engine::MaterializeAll() {
+  const uint64_t rows = cache_.rows()->size();
+  proto_.AccountBytes(rows * kViewWidth * sizeof(Word) * 2);
+  view_.Append(*cache_.rows());
+  cache_.rows()->Clear();
+  cache_.ResetCounter(&proto_);
+  return rows;
+}
+
+uint64_t Engine::AnswerQuery(double* seconds) {
+  const CircuitStats before = proto_.Snapshot();
+  uint64_t answer = 0;
+  if (config_.strategy == Strategy::kNm) {
+    // Standard SOGDB: re-evaluate the query over the entire outsourced data.
+    const SharedRows all1 = store1_.ConcatAll();
+    if (config_.view_kind == ViewKind::kFilter) {
+      const WordShares count = ObliviousCountWhere(
+          &proto_, all1, kSrcValidCol,
+          ObliviousPredicate::ColumnBetween(kSrcPayloadCol, config_.filter.lo,
+                                            config_.filter.hi));
+      answer = proto_.Reveal(count);
+    } else {
+      const SharedRows all2 = store2_.ConcatAll();
+      answer = ObliviousJoinCountFull(&proto_, all1, all2, config_.join);
+      proto_.AccountBytes(sizeof(Word) * 2);  // reveal the count
+      proto_.AccountRounds(1);
+    }
+  } else {
+    const WordShares count = ObliviousCountWhere(
+        &proto_, view_.rows(), kViewIsViewCol, ObliviousPredicate::True());
+    answer = proto_.Reveal(count);
+  }
+  *seconds = proto_.SimulatedSecondsSince(before);
+  return answer;
+}
+
+Status Engine::Step(const std::vector<LogicalRecord>& new1,
+                    const std::vector<LogicalRecord>& new2) {
+  ++t_;
+  StepMetrics m;
+  m.t = t_;
+
+  // Ground truth over the logical growing database.
+  if (config_.view_kind == ViewKind::kFilter) {
+    for (const LogicalRecord& rec : new1) {
+      if (rec.payload >= config_.filter.lo && rec.payload <= config_.filter.hi)
+        ++filter_truth_;
+    }
+    m.true_count = filter_truth_;
+  } else {
+    m.true_count = truth_.Step(new1, new2);
+  }
+
+  // Owner uploads (filter views consume only the T1 stream). Batch sizes
+  // are governed by the configured record-synchronization policies.
+  SharedRows batch1 = uploader1_.BuildBatch(t_, new1, &owner_rng_);
+  const uint64_t up1 = batch1.size();
+  proto_.AccountBytes(up1 * kSrcWidth * sizeof(Word) * 2);
+  store1_.AppendBatch(std::move(batch1));
+  uint64_t up2 = 0;
+  if (config_.view_kind != ViewKind::kFilter) {
+    SharedRows batch2 = uploader2_.BuildBatch(t_, new2, &owner_rng_);
+    up2 = batch2.size();
+    proto_.AccountBytes(up2 * kSrcWidth * sizeof(Word) * 2);
+    store2_.AppendBatch(std::move(batch2));
+  }
+  upload_rows_t1_log_.push_back(up1);
+  upload_rows_t2_log_.push_back(up2);
+  transcript_.push_back({TranscriptEvent::Kind::kUpload, t_, up1 + up2});
+
+  // View maintenance.
+  const bool transforms = config_.strategy == Strategy::kDpTimer ||
+                          config_.strategy == Strategy::kDpAnt ||
+                          config_.strategy == Strategy::kEp ||
+                          (config_.strategy == Strategy::kOtm && t_ == 1);
+  if (transforms) {
+    INCSHRINK_ASSIGN_OR_RETURN(
+        const TransformProtocol::StepResult tr,
+        transform_.Step(t_, store1_, store2_, &cache_));
+    m.transform_seconds = tr.simulated_seconds;
+    real_entries_per_step_.push_back(tr.real_entries);
+    total_real_entries_ += tr.real_entries;
+    transcript_.push_back(
+        {TranscriptEvent::Kind::kTransformOut, t_, tr.appended_rows});
+  } else {
+    real_entries_per_step_.push_back(0);
+  }
+
+  LeakageRelease release{t_, 0, false};
+  switch (config_.strategy) {
+    case Strategy::kDpTimer:
+    case Strategy::kDpAnt: {
+      ShrinkResult sync = timer_ != nullptr
+                              ? timer_->Step(t_, &cache_, &view_)
+                              : ant_->Step(t_, &cache_, &view_);
+      m.shrink_seconds += sync.simulated_seconds;
+      if (sync.fired) {
+        m.synced = true;
+        m.sync_rows = sync.sync_rows;
+        release = {t_, sync.released_size, true};
+        transcript_.push_back(
+            {TranscriptEvent::Kind::kSync, t_, sync.sync_rows});
+      }
+      ShrinkResult flush =
+          MaybeFlushCache(&proto_, config_, t_, &cache_, &view_);
+      if (flush.fired) {
+        m.flushed = true;
+        m.shrink_seconds += flush.simulated_seconds;
+        transcript_.push_back(
+            {TranscriptEvent::Kind::kFlush, t_, flush.sync_rows});
+      }
+      break;
+    }
+    case Strategy::kEp:
+    case Strategy::kOtm: {
+      if (transforms) {
+        const CircuitStats before = proto_.Snapshot();
+        const uint64_t rows = MaterializeAll();
+        m.synced = true;
+        m.sync_rows = rows;
+        m.shrink_seconds += proto_.SimulatedSecondsSince(before);
+        transcript_.push_back({TranscriptEvent::Kind::kSync, t_, rows});
+      }
+      break;
+    }
+    case Strategy::kNm:
+      break;
+  }
+  releases_.push_back(release);
+
+  // Analyst query.
+  m.view_answer = AnswerQuery(&m.query_seconds);
+  m.l1_error = std::abs(static_cast<double>(m.view_answer) -
+                        static_cast<double>(m.true_count));
+  m.relative_error =
+      m.l1_error / std::max<double>(1.0, static_cast<double>(m.true_count));
+  m.view_rows = view_.size();
+  m.cache_rows = cache_.size();
+  metrics_.push_back(m);
+  return Status::OK();
+}
+
+Status Engine::Run(
+    const std::vector<std::vector<LogicalRecord>>& arrivals1,
+    const std::vector<std::vector<LogicalRecord>>& arrivals2) {
+  INCSHRINK_CHECK_EQ(arrivals1.size(), arrivals2.size());
+  for (size_t i = 0; i < arrivals1.size(); ++i) {
+    INCSHRINK_RETURN_NOT_OK(Step(arrivals1[i], arrivals2[i]));
+  }
+  return Status::OK();
+}
+
+RunSummary Engine::Summary() const {
+  RunSummary s;
+  for (const StepMetrics& m : metrics_) {
+    s.l1_error.Add(m.l1_error);
+    s.relative_error.Add(m.relative_error);
+    s.true_count_stat.Add(static_cast<double>(m.true_count));
+    s.qet_seconds.Add(m.query_seconds);
+    if (m.transform_seconds > 0) s.transform_seconds.Add(m.transform_seconds);
+    if (m.synced) {
+      s.shrink_seconds.Add(m.shrink_seconds);
+      ++s.updates;
+    }
+    if (m.flushed) ++s.flushes;
+    s.total_mpc_seconds += m.transform_seconds + m.shrink_seconds;
+    s.total_query_seconds += m.query_seconds;
+  }
+  s.steps = metrics_.size();
+  s.final_view_mb = view_.SizeMb();
+  s.final_view_rows = view_.size();
+  s.final_cache_rows = cache_.size();
+  s.total_real_entries_cached = total_real_entries_;
+  if (!metrics_.empty()) s.final_true_count = metrics_.back().true_count;
+  return s;
+}
+
+SimulatorPublicParams Engine::MakeSimulatorParams() const {
+  SimulatorPublicParams pp;
+  const std::vector<uint64_t> u1 = upload_rows_t1_log_;
+  const std::vector<uint64_t> u2 = upload_rows_t2_log_;
+  pp.upload_rows = [u1, u2](uint64_t t) -> uint64_t {
+    if (t < 1 || t > u1.size()) return 0;
+    return u1[t - 1] + u2[t - 1];
+  };
+  // The transform output size is a deterministic function of the public
+  // upload sizes (themselves fixed constants or DP releases of the owners'
+  // synchronization policies) and public protocol constants.
+  const IncShrinkConfig cfg = config_;
+  pp.transform_rows = [cfg, u1, u2](uint64_t t) -> uint64_t {
+    if (t < 1 || t > u1.size()) return 0;
+    if (cfg.view_kind == ViewKind::kFilter) return u1[t - 1];
+    if (cfg.t2_is_public ||
+        cfg.op == TransformOperator::kNestedLoopJoin) {
+      const uint64_t wlen = std::min<uint64_t>(
+          TransformProtocol::EligibleSteps(cfg), t - 1);
+      uint64_t old1 = 0;
+      for (uint64_t s = t - 1 - wlen; s + 1 <= t - 1; ++s) old1 += u1[s];
+      return cfg.omega * (u1[t - 1] + old1);
+    }
+    return cfg.omega * (u1[t - 1] + u2[t - 1]);
+  };
+  pp.flush_interval = config_.flush_interval;
+  pp.flush_size = config_.flush_size;
+  return pp;
+}
+
+Engine::AdHocResult Engine::AnswerAdHocQuery(const AnalystQuery& query) {
+  INCSHRINK_CHECK(config_.view_kind == ViewKind::kWindowJoin);
+  AdHocResult result;
+  const CircuitStats before = proto_.Snapshot();
+  const WordShares count =
+      ObliviousCountWhere(&proto_, view_.rows(), kViewIsViewCol,
+                          RewriteToViewPredicate(query));
+  result.answer = proto_.Reveal(count);
+  result.query_seconds = proto_.SimulatedSecondsSince(before);
+
+  for (const WindowJoinCounter::MatchedPair& pair : truth_.pairs()) {
+    switch (query.kind) {
+      case AnalystQuery::Kind::kCountAll:
+        ++result.truth;
+        break;
+      case AnalystQuery::Kind::kCountDateRange:
+        if (pair.date2 >= query.lo && pair.date2 <= query.hi) ++result.truth;
+        break;
+      case AnalystQuery::Kind::kCountKeyEquals:
+        if (pair.key == query.key) ++result.truth;
+        break;
+    }
+  }
+  return result;
+}
+
+double Engine::ComposedEpsilon() const {
+  const double owner1 = uploader1_.PolicyEpsilon();
+  const double owner2 =
+      config_.t2_is_public ? 0.0 : uploader2_.PolicyEpsilon();
+  return config_.eps + std::max(owner1, owner2);
+}
+
+}  // namespace incshrink

@@ -1,0 +1,55 @@
+#pragma once
+
+#include <cstdint>
+
+#include "src/common/stats.h"
+
+namespace incshrink {
+
+/// \brief Per-step measurements recorded by the engine: everything needed to
+/// regenerate the paper's tables and figures.
+struct StepMetrics {
+  uint64_t t = 0;
+  double transform_seconds = 0;  ///< simulated MPC time of Transform
+  double shrink_seconds = 0;     ///< simulated MPC time of Shrink (+flush)
+  double query_seconds = 0;      ///< simulated QET of this step's query
+  uint64_t true_count = 0;       ///< q_t(D_t), ground truth
+  uint64_t view_answer = 0;      ///< q~_t(V_t), the server's answer
+  double l1_error = 0;           ///< |view_answer - true_count|
+  double relative_error = 0;     ///< l1 / max(1, true_count)
+  uint64_t view_rows = 0;        ///< padded rows currently in V
+  uint64_t cache_rows = 0;       ///< padded rows currently in sigma
+  bool synced = false;
+  uint64_t sync_rows = 0;
+  bool flushed = false;
+};
+
+/// \brief Aggregates over a full run — the rows of Table 2.
+struct RunSummary {
+  RunningStat l1_error;
+  RunningStat relative_error;
+  RunningStat true_count_stat;
+  RunningStat qet_seconds;
+  RunningStat transform_seconds;  ///< per Transform invocation
+  RunningStat shrink_seconds;     ///< per *fired* Shrink update
+  double total_mpc_seconds = 0;   ///< transform + shrink + flush (simulated)
+  double total_query_seconds = 0; ///< sum of QETs (simulated)
+  double final_view_mb = 0;
+  uint64_t final_view_rows = 0;
+  uint64_t final_cache_rows = 0;
+  uint64_t updates = 0;   ///< fired Shrink syncs
+  uint64_t flushes = 0;
+  uint64_t steps = 0;
+  uint64_t total_real_entries_cached = 0;  ///< sum of Transform real outputs
+  uint64_t final_true_count = 0;
+
+  /// Run-level relative error — mean |error| over mean true answer. This is
+  /// the "Relative Error" statistic of the paper's Table 2 (an OTM view
+  /// that never updates scores exactly 1).
+  double OverallRelativeError() const {
+    if (true_count_stat.mean() <= 0) return 0.0;
+    return l1_error.mean() / true_count_stat.mean();
+  }
+};
+
+}  // namespace incshrink

@@ -1,0 +1,145 @@
+#include "src/core/shrink.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "src/common/logging.h"
+#include "src/dp/laplace.h"
+#include "src/oblivious/cache_ops.h"
+
+namespace incshrink {
+
+namespace {
+constexpr double kFpOffset = 1048576.0;  // 2^20
+constexpr double kFpScale = 1024.0;      // 2^10
+}  // namespace
+
+Word EncodeThresholdFixedPoint(double x) {
+  const double shifted = (x + kFpOffset) * kFpScale;
+  if (shifted <= 0) return 0;
+  if (shifted >= 4294967295.0) return 0xFFFFFFFFu;
+  return static_cast<Word>(std::llround(shifted));
+}
+
+double DecodeThresholdFixedPoint(Word enc) {
+  return static_cast<double>(enc) / kFpScale - kFpOffset;
+}
+
+// ---------------------------------------------------------------------------
+// sDPTimer
+// ---------------------------------------------------------------------------
+
+ShrinkTimer::ShrinkTimer(Protocol2PC* proto, const IncShrinkConfig& config)
+    : proto_(proto), config_(config),
+      scale_(static_cast<double>(config.budget_b) / config.eps) {}
+
+ShrinkResult ShrinkTimer::Step(uint64_t t, SecureCache* cache,
+                               MaterializedView* view) {
+  ShrinkResult result;
+  if (config_.timer_T == 0 || t % config_.timer_T != 0) return result;
+  const CircuitStats before = proto_->Snapshot();
+
+  // Alg. 2 lines 3-6: recover c internally, distort with joint noise.
+  const uint32_t c = cache->RecoverCounterInside(proto_);
+  const double noise = proto_->JointLaplace(scale_);
+  const uint32_t sz =
+      ClampRoundNonNegative(static_cast<double>(c) + noise);
+
+  // Alg. 2 lines 7-8: oblivious sort + prefix fetch, view append.
+  result.released_size = sz;
+  SharedRows fetched = ObliviousCacheRead(proto_, cache->rows(), sz);
+  result.sync_rows = fetched.size();
+  view->Append(fetched);
+
+  // Alg. 2 line 9: reset and re-share the counter.
+  cache->ResetCounter(proto_);
+
+  result.fired = true;
+  result.simulated_seconds = proto_->SimulatedSecondsSince(before);
+  return result;
+}
+
+// ---------------------------------------------------------------------------
+// sDPANT
+// ---------------------------------------------------------------------------
+
+ShrinkAnt::ShrinkAnt(Protocol2PC* proto, const IncShrinkConfig& config)
+    : proto_(proto), config_(config), eps1_(config.eps / 2),
+      eps2_(config.eps / 2), shared_theta_(proto->FreshShare(0)) {
+  RefreshThreshold();
+}
+
+void ShrinkAnt::RefreshThreshold() {
+  // theta~ = theta + Lap(2b/eps1), secret-shared across the servers
+  // (Alg. 3 lines 2-3 / 11-12).
+  const double noise =
+      proto_->JointLaplace(2.0 * config_.budget_b / eps1_);
+  const Word enc = EncodeThresholdFixedPoint(config_.ant_theta + noise);
+  shared_theta_ = proto_->FreshShare(enc);
+}
+
+double ShrinkAnt::noisy_threshold_inside() const {
+  return DecodeThresholdFixedPoint(
+      proto_->RecoverInside(shared_theta_));
+}
+
+ShrinkResult ShrinkAnt::Step(uint64_t t, SecureCache* cache,
+                             MaterializedView* view) {
+  (void)t;
+  ShrinkResult result;
+  const CircuitStats before = proto_->Snapshot();
+
+  // Alg. 3 lines 5-7: recover c and theta~ internally, distort c, compare.
+  const uint32_t c = cache->RecoverCounterInside(proto_);
+  const double theta = noisy_threshold_inside();
+  const double c_noisy =
+      static_cast<double>(c) +
+      proto_->JointLaplace(4.0 * config_.budget_b / eps1_);
+  proto_->AccountAndGates(kWordBits);  // in-circuit threshold comparison
+  if (c_noisy < theta) {
+    result.simulated_seconds = proto_->SimulatedSecondsSince(before);
+    return result;
+  }
+
+  // Alg. 3 lines 8-10: sz = c + Lap(b/eps2). A Laplace release at scale
+  // b/eps2 is eps2-DP for the b-sensitive counter, so the eps1 + eps2 = eps
+  // split of line 1 composes exactly. (Algorithm 5 / M_ant use the more
+  // conservative 2b/eps2; that variant only strengthens the guarantee.)
+  const double noise =
+      proto_->JointLaplace(static_cast<double>(config_.budget_b) / eps2_);
+  const uint32_t sz =
+      ClampRoundNonNegative(static_cast<double>(c) + noise);
+  result.released_size = sz;
+  SharedRows fetched = ObliviousCacheRead(proto_, cache->rows(), sz);
+  result.sync_rows = fetched.size();
+  view->Append(fetched);
+
+  // Alg. 3 lines 11-13: fresh threshold, reset counter.
+  RefreshThreshold();
+  cache->ResetCounter(proto_);
+
+  result.fired = true;
+  result.simulated_seconds = proto_->SimulatedSecondsSince(before);
+  return result;
+}
+
+// ---------------------------------------------------------------------------
+// Cache flush
+// ---------------------------------------------------------------------------
+
+ShrinkResult MaybeFlushCache(Protocol2PC* proto,
+                             const IncShrinkConfig& config, uint64_t t,
+                             SecureCache* cache, MaterializedView* view) {
+  ShrinkResult result;
+  if (config.flush_interval == 0 || t % config.flush_interval != 0)
+    return result;
+  const CircuitStats before = proto->Snapshot();
+  SharedRows fetched = CacheFlush(proto, cache->rows(), config.flush_size);
+  result.sync_rows = fetched.size();
+  view->Append(fetched);
+  result.fired = true;
+  result.simulated_seconds = proto->SimulatedSecondsSince(before);
+  return result;
+}
+
+}  // namespace incshrink

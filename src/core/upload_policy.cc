@@ -1,0 +1,81 @@
+#include "src/core/upload_policy.h"
+
+#include <algorithm>
+
+#include "src/common/logging.h"
+#include "src/dp/laplace.h"
+#include "src/oblivious/formats.h"
+#include "src/relational/encode.h"
+
+namespace incshrink {
+
+OwnerUploader::OwnerUploader(const UploadPolicyConfig& config,
+                             uint32_t fixed_rows, bool is_public,
+                             uint64_t seed)
+    : config_(config), fixed_rows_(fixed_rows), is_public_(is_public),
+      policy_rng_(seed ^ 0x5851F42D4C957F2Dull) {
+  if (config_.kind == UploadPolicyKind::kDpAntSync) {
+    // Record-insertion sensitivity is 1 for the owner's pending counter.
+    svt_ = std::make_unique<NumericAboveNoisyThreshold>(
+        config_.eps_sync / 2, /*sensitivity=*/1.0, config_.sync_theta,
+        &policy_rng_);
+  }
+}
+
+double OwnerUploader::PolicyEpsilon() const {
+  return config_.kind == UploadPolicyKind::kFixedSize ? 0.0
+                                                      : config_.eps_sync;
+}
+
+SharedRows OwnerUploader::Emit(size_t take, size_t rows, Rng* share_rng) {
+  take = std::min(take, queue_.size());
+  rows = std::max(rows, take);
+  SharedRows batch(kSrcWidth);
+  for (size_t i = 0; i < take; ++i) {
+    batch.AppendSecretRow(EncodeSourceRow(queue_[i]), share_rng);
+  }
+  queue_.erase(queue_.begin(), queue_.begin() + take);
+  while (batch.size() < rows) {
+    batch.AppendSecretRow(MakeDummySourceRow(share_rng), share_rng);
+  }
+  return batch;
+}
+
+SharedRows OwnerUploader::BuildBatch(
+    uint64_t t, const std::vector<LogicalRecord>& arrivals, Rng* share_rng) {
+  queue_.insert(queue_.end(), arrivals.begin(), arrivals.end());
+
+  if (is_public_) {
+    // Public relations leak nothing private: ship everything, unpadded.
+    return Emit(queue_.size(), queue_.size(), share_rng);
+  }
+
+  switch (config_.kind) {
+    case UploadPolicyKind::kFixedSize:
+      return Emit(fixed_rows_, fixed_rows_, share_rng);
+
+    case UploadPolicyKind::kDpTimerSync: {
+      if (config_.sync_interval == 0 || t % config_.sync_interval != 0) {
+        return SharedRows(kSrcWidth);  // no upload this step
+      }
+      // DP-Sync timer: release |pending| + Lap(1/eps1); upload that many
+      // rows (real first, dummy-padded), deferring any surplus records.
+      const uint32_t size = NoisyNonNegativeCount(
+          static_cast<uint32_t>(queue_.size()),
+          1.0 / config_.eps_sync, &policy_rng_);
+      return Emit(size, size, share_rng);
+    }
+
+    case UploadPolicyKind::kDpAntSync: {
+      double release = 0;
+      if (!svt_->Observe(static_cast<double>(queue_.size()), &release)) {
+        return SharedRows(kSrcWidth);
+      }
+      const uint32_t size = ClampRoundNonNegative(release);
+      return Emit(size, size, share_rng);
+    }
+  }
+  return SharedRows(kSrcWidth);
+}
+
+}  // namespace incshrink

@@ -1,0 +1,47 @@
+#include "src/dp/accountant.h"
+
+#include "src/common/logging.h"
+
+namespace incshrink {
+
+PrivacyAccountant::PrivacyAccountant(double eps, uint32_t b, uint32_t omega)
+    : eps_(eps), b_(b), omega_(omega) {
+  INCSHRINK_CHECK_GT(eps, 0.0);
+  INCSHRINK_CHECK_GT(b, 0u);
+  INCSHRINK_CHECK_GT(omega, 0u);
+  INCSHRINK_CHECK_LE(omega, b);
+}
+
+uint32_t PrivacyAccountant::RemainingBudget(uint32_t rid) const {
+  const auto it = charged_.find(rid);
+  const uint32_t used = it == charged_.end() ? 0 : it->second;
+  return used >= b_ ? 0 : b_ - used;
+}
+
+Status PrivacyAccountant::ChargeParticipation(uint32_t rid) {
+  uint32_t& used = charged_[rid];
+  if (used + omega_ > b_) {
+    return Status::PrivacyBudgetExhausted(
+        "record " + std::to_string(rid) + " has budget " +
+        std::to_string(b_ - used) + " < omega " + std::to_string(omega_));
+  }
+  used += omega_;
+  return Status::OK();
+}
+
+Status PrivacyAccountant::RecordContribution(uint32_t rid, uint32_t rows) {
+  uint32_t& rows_so_far = contributed_[rid];
+  const auto it = charged_.find(rid);
+  const uint32_t charged = it == charged_.end() ? 0 : it->second;
+  if (rows_so_far + rows > charged) {
+    return Status::Internal(
+        "record " + std::to_string(rid) + " contributed " +
+        std::to_string(rows_so_far + rows) + " rows but was only charged " +
+        std::to_string(charged));
+  }
+  rows_so_far += rows;
+  total_contributions_ += rows;
+  return Status::OK();
+}
+
+}  // namespace incshrink

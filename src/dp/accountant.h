@@ -1,0 +1,84 @@
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <unordered_map>
+
+#include "src/common/status.h"
+
+namespace incshrink {
+
+/// \brief Event-level privacy accounting for the view update pipeline.
+///
+/// Implements the paper's composition story (Lemmas 1-2, Theorem 3):
+///  * the truncated transformation is q-stable with q = b (each logical
+///    update contributes at most `b` view rows over its lifetime);
+///  * each Shrink release is (eps / b)-DP with respect to the cache contents
+///    (Laplace scale b/eps has sensitivity-b numerators);
+///  * releases touch disjoint sets of cached tuples (parallel composition),
+///    so the overall leakage is eps-DP w.r.t. logical updates.
+///
+/// The accountant both reports the closed-form guarantee and *enforces* the
+/// stability premise at runtime via a per-record contribution ledger: every
+/// time a record is fed to Transform it is charged `omega`; a record whose
+/// remaining budget is below `omega` must be retired. A charge that would
+/// exceed `b` returns PrivacyBudgetExhausted — the invariant the proofs rely
+/// on can therefore never be violated silently.
+class PrivacyAccountant {
+ public:
+  /// \param eps   overall event-level privacy parameter
+  /// \param b     lifetime contribution budget per record
+  /// \param omega per-invocation truncation bound (charged per use)
+  PrivacyAccountant(double eps, uint32_t b, uint32_t omega);
+
+  double eps() const { return eps_; }
+  uint32_t contribution_budget() const { return b_; }
+  uint32_t omega() const { return omega_; }
+
+  /// Remaining contribution budget of a record (b if never seen).
+  uint32_t RemainingBudget(uint32_t rid) const;
+
+  /// True iff the record can still be used as Transform input.
+  bool CanParticipate(uint32_t rid) const {
+    return RemainingBudget(rid) >= omega_;
+  }
+
+  /// Charges `omega` to the record for one Transform invocation
+  /// ("as long as a record is used as input to Transform ... it is consumed
+  /// with a fixed amount of budget equal to the truncation limit omega").
+  Status ChargeParticipation(uint32_t rid);
+
+  /// Records that `rows` real view rows were actually generated from the
+  /// record (must never exceed the budget already charged).
+  Status RecordContribution(uint32_t rid, uint32_t rows);
+
+  /// Number of records ever charged.
+  size_t tracked_records() const { return charged_.size(); }
+
+  /// Total view-entry contributions recorded (across all records).
+  uint64_t total_contributions() const { return total_contributions_; }
+
+  /// The event-level epsilon guaranteed by the composition analysis: the
+  /// mechanism releases are (eps/b)-DP over cache contents and the
+  /// transformation is b-stable, so the product is eps (Lemma 2).
+  double EventLevelEpsilon() const { return eps_; }
+
+  /// User-level epsilon when one user owns at most `max_tuples_per_user`
+  /// logical updates (group privacy).
+  double UserLevelEpsilon(uint32_t max_tuples_per_user) const {
+    return eps_ * static_cast<double>(max_tuples_per_user);
+  }
+
+  /// Laplace scale used by Shrink releases: b / eps.
+  double ReleaseScale() const { return static_cast<double>(b_) / eps_; }
+
+ private:
+  double eps_;
+  uint32_t b_;
+  uint32_t omega_;
+  std::unordered_map<uint32_t, uint32_t> charged_;        // rid -> charged
+  std::unordered_map<uint32_t, uint32_t> contributed_;    // rid -> rows
+  uint64_t total_contributions_ = 0;
+};
+
+}  // namespace incshrink

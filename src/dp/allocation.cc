@@ -1,0 +1,136 @@
+#include "src/dp/allocation.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "src/common/logging.h"
+#include "src/dp/bounds.h"
+
+namespace incshrink {
+
+double ExpectedDummyRows(double sensitivity, double eps, uint64_t releases) {
+  INCSHRINK_CHECK_GT(eps, 0.0);
+  // E[max(0, Lap(b/eps))] = b / (2 eps) per release.
+  return static_cast<double>(releases) * sensitivity / (2.0 * eps);
+}
+
+namespace {
+
+double Clamp01(double x) { return std::clamp(x, 0.0, 1.0); }
+
+}  // namespace
+
+double FilterEfficiency(const OperatorSpec& op, double eps) {
+  if (op.input_rows1 == 0) return 1.0;
+  const double y1 = ExpectedDummyRows(op.sensitivity, eps, op.releases);
+  return Clamp01(1.0 - y1 / static_cast<double>(op.input_rows1));
+}
+
+double JoinEfficiency(const OperatorSpec& op, double eps) {
+  const uint64_t n = op.input_rows1 + op.input_rows2;
+  if (n == 0) return 1.0;
+  // Both inputs are resized under the same slice; Y2 uses the same model.
+  const double y = 2.0 * ExpectedDummyRows(op.sensitivity, eps, op.releases);
+  return Clamp01(1.0 - y / static_cast<double>(n));
+}
+
+double QueryEfficiency(const std::vector<OperatorSpec>& ops,
+                       const std::vector<double>& allocation) {
+  INCSHRINK_CHECK_EQ(ops.size(), allocation.size());
+  uint64_t total_out = 0;
+  for (const OperatorSpec& op : ops) total_out += op.output_rows;
+  if (total_out == 0) return 0.0;
+  double eq = 0;
+  for (size_t i = 0; i < ops.size(); ++i) {
+    if (allocation[i] <= 0) return 0.0;  // an unfunded operator stalls Q
+    const double e = ops[i].kind == OperatorSpec::Kind::kFilter
+                         ? FilterEfficiency(ops[i], allocation[i])
+                         : JoinEfficiency(ops[i], allocation[i]);
+    eq += static_cast<double>(ops[i].output_rows) /
+          static_cast<double>(total_out) * e;
+  }
+  return eq;
+}
+
+double OperatorLogicalGap(const OperatorSpec& op, double eps, double beta) {
+  if (eps <= 0) return std::numeric_limits<double>::infinity();
+  return TimerDeferredBound(op.sensitivity, eps, op.releases, beta);
+}
+
+AllocationResult OptimizePrivacyAllocation(
+    const std::vector<OperatorSpec>& ops, double eps_total, double lg_total,
+    double beta) {
+  INCSHRINK_CHECK_GT(eps_total, 0.0);
+  AllocationResult result;
+  const size_t l = ops.size();
+  if (l == 0) return result;
+
+  std::vector<double> alloc(l, eps_total / static_cast<double>(l));
+  auto total_gap = [&](const std::vector<double>& a) {
+    double g = 0;
+    for (size_t i = 0; i < l; ++i) g += OperatorLogicalGap(ops[i], a[i], beta);
+    return g;
+  };
+
+  // Phase 1: restore logical-gap feasibility by shifting budget toward the
+  // operators with the largest gap (their bound decreases as 1/eps).
+  for (int guard = 0; guard < 1000 && total_gap(alloc) > lg_total; ++guard) {
+    size_t worst = 0, best = 0;
+    double worst_gap = -1, best_gap = std::numeric_limits<double>::max();
+    for (size_t i = 0; i < l; ++i) {
+      const double g = OperatorLogicalGap(ops[i], alloc[i], beta);
+      if (g > worst_gap) {
+        worst_gap = g;
+        worst = i;
+      }
+      if (g < best_gap) {
+        best_gap = g;
+        best = i;
+      }
+    }
+    if (worst == best) break;
+    const double delta = alloc[best] * 0.05;
+    if (delta < 1e-9) break;
+    alloc[best] -= delta;
+    alloc[worst] += delta;
+  }
+  if (total_gap(alloc) > lg_total) {
+    // Even the most favorable shift cannot satisfy the gap budget.
+    result.eps = alloc;
+    result.efficiency = QueryEfficiency(ops, alloc);
+    result.feasible = false;
+    return result;
+  }
+
+  // Phase 2: coordinate-exchange ascent on E_Q over the simplex, rejecting
+  // moves that violate the gap budget.
+  double best_eq = QueryEfficiency(ops, alloc);
+  bool improved = true;
+  for (int pass = 0; pass < 200 && improved; ++pass) {
+    improved = false;
+    const double step = eps_total * 0.01;
+    for (size_t from = 0; from < l; ++from) {
+      for (size_t to = 0; to < l; ++to) {
+        if (from == to || alloc[from] <= step) continue;
+        std::vector<double> cand = alloc;
+        cand[from] -= step;
+        cand[to] += step;
+        if (total_gap(cand) > lg_total) continue;
+        const double eq = QueryEfficiency(ops, cand);
+        if (eq > best_eq + 1e-12) {
+          best_eq = eq;
+          alloc = cand;
+          improved = true;
+        }
+      }
+    }
+  }
+
+  result.eps = alloc;
+  result.efficiency = best_eq;
+  result.feasible = true;
+  return result;
+}
+
+}  // namespace incshrink

@@ -1,0 +1,68 @@
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+namespace incshrink {
+
+/// \brief Operator-level privacy budget allocation (paper Appendix D.2).
+///
+/// In the multi-level "Transform-and-Shrink" design every relational
+/// operator runs its own IncShrink instance with a slice eps_i of the total
+/// privacy budget. Small slices inject more dummy tuples into that
+/// operator's output (hurting downstream efficiency); the appendix defines
+/// per-operator efficiency metrics (Definitions 6-8) and the constrained
+/// optimization (Eq. 15) that maximizes overall query efficiency subject to
+/// the privacy and logical-gap budgets.
+
+/// One relational operator of the query plan.
+struct OperatorSpec {
+  enum class Kind : uint8_t { kFilter, kJoin };
+  Kind kind = Kind::kFilter;
+  /// Real input cardinalities (n1, and n2 for joins).
+  uint64_t input_rows1 = 0;
+  uint64_t input_rows2 = 0;
+  /// Output cardinality |O_i| used for the Definition-8 weighting.
+  uint64_t output_rows = 0;
+  /// Sensitivity (contribution bound b) of the DP releases feeding this
+  /// operator's inputs.
+  double sensitivity = 1.0;
+  /// Number of DP releases k the upstream Shrink instance performs.
+  uint64_t releases = 1;
+};
+
+/// Expected dummy tuples Y(eps) in an operator input fed by `releases`
+/// Laplace(b/eps) resizings: each release contributes E[max(0, Lap)] =
+/// b/(2 eps) expected dummies.
+double ExpectedDummyRows(double sensitivity, double eps, uint64_t releases);
+
+/// Definition 6: E(P) = 1 - Y1(eps1)/n1 (clamped to [0, 1]).
+double FilterEfficiency(const OperatorSpec& op, double eps);
+
+/// Definition 7: E(P) = 1 - (Y1 + Y2)/(n1 + n2) (clamped to [0, 1]).
+double JoinEfficiency(const OperatorSpec& op, double eps);
+
+/// Definition 8: E_Q(P) = sum_i |O_i|/|O_total| * E_i(P).
+double QueryEfficiency(const std::vector<OperatorSpec>& ops,
+                       const std::vector<double>& allocation);
+
+/// Per-operator logical-gap bound at its eps slice (Theorem 4's deferred
+/// data bound with k releases at confidence 1 - beta).
+double OperatorLogicalGap(const OperatorSpec& op, double eps, double beta);
+
+struct AllocationResult {
+  std::vector<double> eps;   ///< per-operator slices, summing to eps_total
+  double efficiency = 0;     ///< E_Q at the returned allocation
+  bool feasible = false;     ///< whether the LG constraint could be met
+};
+
+/// Solves Eq. 15 by projected coordinate ascent on the budget simplex:
+///   max E_Q(P)  s.t.  sum eps_i <= eps_total,
+///                     sum LG_i(eps_i) <= lg_total,  eps_i >= 0.
+/// Deterministic and exact enough for the small operator counts (<= ~6) of
+/// realistic view definitions.
+AllocationResult OptimizePrivacyAllocation(
+    const std::vector<OperatorSpec>& ops, double eps_total, double lg_total,
+    double beta = 0.05);
+
+}  // namespace incshrink

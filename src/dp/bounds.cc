@@ -1,0 +1,48 @@
+#include "src/dp/bounds.h"
+
+#include <cmath>
+
+#include "src/common/logging.h"
+
+namespace incshrink {
+
+double LaplaceSumTailBound(double delta, double eps, uint64_t k,
+                           double beta) {
+  INCSHRINK_CHECK_GT(eps, 0.0);
+  INCSHRINK_CHECK_GT(beta, 0.0);
+  INCSHRINK_CHECK_LT(beta, 1.0);
+  return 2.0 * delta / eps *
+         std::sqrt(static_cast<double>(k) * std::log(1.0 / beta));
+}
+
+double TimerDeferredBound(double b, double eps, uint64_t k, double beta) {
+  return LaplaceSumTailBound(b, eps, k, beta);
+}
+
+double TimerDummyBound(double b, double eps, uint64_t k, double beta,
+                       uint64_t T, uint64_t f, uint64_t s) {
+  INCSHRINK_CHECK_GT(f, 0u);
+  const double flushes = static_cast<double>(k * T) / static_cast<double>(f);
+  return LaplaceSumTailBound(b, eps, k, beta) +
+         static_cast<double>(s) * flushes;
+}
+
+double AntDeferredBound(double b, double eps, uint64_t t, double beta) {
+  INCSHRINK_CHECK_GT(eps, 0.0);
+  const double lt = std::log(std::max<double>(2.0, static_cast<double>(t)));
+  return 16.0 * b * (lt + std::log(2.0 / beta)) / eps;
+}
+
+double AntDummyBound(double b, double eps, uint64_t t, double beta,
+                     uint64_t f, uint64_t s) {
+  INCSHRINK_CHECK_GT(f, 0u);
+  return AntDeferredBound(b, eps, t, beta) +
+         static_cast<double>(s) * std::floor(static_cast<double>(t) /
+                                             static_cast<double>(f));
+}
+
+uint64_t MinUpdatesForBound(double beta) {
+  return static_cast<uint64_t>(std::ceil(4.0 * std::log(1.0 / beta)));
+}
+
+}  // namespace incshrink

@@ -1,0 +1,38 @@
+#pragma once
+
+#include <cstdint>
+
+namespace incshrink {
+
+/// \brief Closed-form utility bounds from the paper (Theorems 4, 5, 6 and
+/// Corollary 11), used to pick cache-flush sizes and checked empirically by
+/// the property-test suite.
+
+/// Corollary 11: P[sum of k iid Lap(delta/eps) >= alpha] <= beta for
+/// alpha = (2 delta / eps) sqrt(k log(1/beta)), valid when k >= 4 log(1/beta).
+/// Returns that alpha.
+double LaplaceSumTailBound(double delta, double eps, uint64_t k, double beta);
+
+/// Theorem 4: with probability >= 1 - beta, the number of deferred tuples
+/// after the k-th sDPTimer update is below this bound.
+double TimerDeferredBound(double b, double eps, uint64_t k, double beta);
+
+/// Theorem 5: bound on the number of *dummy* tuples inserted into the
+/// materialized view after the k-th sDPTimer update, with flush interval f,
+/// flush size s and update interval T.
+double TimerDummyBound(double b, double eps, uint64_t k, double beta,
+                       uint64_t T, uint64_t f, uint64_t s);
+
+/// Theorem 6: bound on deferred data at time t under sDPANT
+/// (O(16 b log(t) / eps) with the log(2/beta) slack made explicit).
+double AntDeferredBound(double b, double eps, uint64_t t, double beta);
+
+/// Theorem 6 (second part): bound on dummy tuples inserted into the view by
+/// time t under sDPANT with flush interval f and flush size s.
+double AntDummyBound(double b, double eps, uint64_t t, double beta,
+                     uint64_t f, uint64_t s);
+
+/// Minimum k for which the Theorem 4/Corollary 11 tail bound is valid.
+uint64_t MinUpdatesForBound(double beta);
+
+}  // namespace incshrink

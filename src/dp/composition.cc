@@ -1,0 +1,48 @@
+#include "src/dp/composition.h"
+
+#include <algorithm>
+
+#include "src/common/logging.h"
+
+namespace incshrink {
+
+double SequentialComposition(const std::vector<double>& epsilons) {
+  double total = 0;
+  for (double e : epsilons) {
+    INCSHRINK_CHECK_GE(e, 0.0);
+    total += e;
+  }
+  return total;
+}
+
+double ParallelComposition(const std::vector<double>& epsilons) {
+  double worst = 0;
+  for (double e : epsilons) {
+    INCSHRINK_CHECK_GE(e, 0.0);
+    worst = std::max(worst, e);
+  }
+  return worst;
+}
+
+double UserLevelEpsilon(double event_epsilon,
+                        uint32_t max_updates_per_user) {
+  INCSHRINK_CHECK_GE(max_updates_per_user, 1u);
+  return event_epsilon * static_cast<double>(max_updates_per_user);
+}
+
+double StableTransformationEpsilon(double mechanism_epsilon, double q) {
+  INCSHRINK_CHECK_GE(q, 0.0);
+  return mechanism_epsilon * q;
+}
+
+double RecordLevelEpsilon(const std::vector<double>& stabilities,
+                          const std::vector<double>& epsilons) {
+  INCSHRINK_CHECK_EQ(stabilities.size(), epsilons.size());
+  double total = 0;
+  for (size_t i = 0; i < stabilities.size(); ++i) {
+    total += stabilities[i] * epsilons[i];
+  }
+  return total;
+}
+
+}  // namespace incshrink

@@ -1,0 +1,60 @@
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+namespace incshrink {
+
+/// \brief Differential-privacy composition calculators (paper Section 4.2
+/// and Section 8).
+///
+/// IncShrink's guarantees are stated at event level (one logical update is
+/// the protected secret); these helpers derive the guarantees quoted in the
+/// paper for richer threat models:
+///  * sequential composition — independent mechanisms over the same data
+///    add their budgets (used for the DP-Sync + IncShrink composed system
+///    and for the eps1/eps2 split inside sDPANT);
+///  * parallel composition — mechanisms over disjoint data cost only the
+///    maximum (used by M_timer's proof across disjoint intervals);
+///  * group privacy — protecting a user owning up to l updates multiplies
+///    the event-level budget by l.
+
+/// Sequential composition: sum of budgets.
+double SequentialComposition(const std::vector<double>& epsilons);
+
+/// Parallel composition over disjoint inputs: maximum budget.
+double ParallelComposition(const std::vector<double>& epsilons);
+
+/// Event-level -> user-level epsilon for users owning at most
+/// `max_updates_per_user` logical updates (Section 4.2).
+double UserLevelEpsilon(double event_epsilon, uint32_t max_updates_per_user);
+
+/// The q-stable transformation rule (Lemma 2): an eps-DP mechanism applied
+/// to the output of a q-stable transformation is (q * eps)-DP on the input.
+double StableTransformationEpsilon(double mechanism_epsilon, double q);
+
+/// Theorem 3's composed bound: given per-invocation stability q_i and
+/// mechanism budgets eps_i for every invocation a record can influence,
+/// the record-level loss is sum_i q_i * eps_i. Returns that sum.
+double RecordLevelEpsilon(const std::vector<double>& stabilities,
+                          const std::vector<double>& epsilons);
+
+/// \brief Accounts the full IncShrink deployment budget:
+/// event-level view-update eps, optional owner-policy eps (DP-Sync), and a
+/// user-level multiplier.
+struct DeploymentBudget {
+  double view_update_eps = 1.5;  ///< eps of the Shrink leakage profile
+  double owner_policy_eps = 0;   ///< eps1 of the record-sync policy (0=fixed)
+  uint32_t max_updates_per_user = 1;
+
+  /// Event-level epsilon of the composed system (Section 8).
+  double EventLevel() const {
+    return SequentialComposition({view_update_eps, owner_policy_eps});
+  }
+  /// User-level epsilon via group privacy.
+  double UserLevel() const {
+    return UserLevelEpsilon(EventLevel(), max_updates_per_user);
+  }
+};
+
+}  // namespace incshrink

@@ -1,0 +1,29 @@
+#include "src/dp/laplace.h"
+
+#include <cmath>
+
+#include "src/common/logging.h"
+
+namespace incshrink {
+
+double SampleLaplace(Rng* rng, double scale) {
+  INCSHRINK_CHECK_GT(scale, 0.0);
+  return rng->Laplace(scale);
+}
+
+double LaplaceCdf(double x, double scale) {
+  if (x < 0) return 0.5 * std::exp(x / scale);
+  return 1.0 - 0.5 * std::exp(-x / scale);
+}
+
+uint32_t ClampRoundNonNegative(double x) {
+  if (std::isnan(x) || x <= 0.0) return 0;
+  return static_cast<uint32_t>(std::llround(x));
+}
+
+uint32_t NoisyNonNegativeCount(uint32_t value, double scale, Rng* rng) {
+  return ClampRoundNonNegative(static_cast<double>(value) +
+                               SampleLaplace(rng, scale));
+}
+
+}  // namespace incshrink

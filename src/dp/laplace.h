@@ -1,0 +1,30 @@
+#pragma once
+
+#include <cstdint>
+
+#include "src/common/rng.h"
+
+namespace incshrink {
+
+/// \brief Classic (trusted-curator) Laplace mechanism utilities.
+///
+/// The protocol itself uses `Protocol2PC::JointLaplace` so that neither
+/// server controls the randomness; this header provides the plain sampler
+/// (used by leakage-profile mechanisms and tests) plus distribution helpers.
+
+/// Samples Lap(0, scale).
+double SampleLaplace(Rng* rng, double scale);
+
+/// CDF of Lap(0, scale) at x.
+double LaplaceCdf(double x, double scale);
+
+/// Adds Lap(scale) noise to `value` and rounds to the nearest non-negative
+/// integer (counts can never be negative). This is how Shrink converts the
+/// noisy cardinality into a read size.
+uint32_t NoisyNonNegativeCount(uint32_t value, double scale, Rng* rng);
+
+/// Rounds a real-valued noisy count to a non-negative integer (shared by the
+/// joint-noise path).
+uint32_t ClampRoundNonNegative(double x);
+
+}  // namespace incshrink

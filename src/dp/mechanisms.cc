@@ -1,0 +1,46 @@
+#include "src/dp/mechanisms.h"
+
+#include "src/common/logging.h"
+#include "src/dp/laplace.h"
+
+namespace incshrink {
+
+TimerLeakageMechanism::TimerLeakageMechanism(double eps, double b, uint64_t T,
+                                             Rng* rng)
+    : scale_(b / eps), T_(T), rng_(rng) {
+  INCSHRINK_CHECK_GT(T, 0u);
+}
+
+LeakageRelease TimerLeakageMechanism::Step(uint32_t new_entries) {
+  ++t_;
+  window_count_ += new_entries;
+  LeakageRelease rel{t_, 0, false};
+  if (t_ % T_ == 0) {
+    rel.fired = true;
+    rel.size = NoisyNonNegativeCount(
+        static_cast<uint32_t>(window_count_), scale_, rng_);
+    window_count_ = 0;
+    ++updates_;
+  }
+  return rel;
+}
+
+AntLeakageMechanism::AntLeakageMechanism(double eps, double b, double theta,
+                                         Rng* rng)
+    : svt_(eps, b, theta, rng) {}
+
+LeakageRelease AntLeakageMechanism::Step(uint32_t new_entries) {
+  ++t_;
+  running_count_ += new_entries;
+  LeakageRelease rel{t_, 0, false};
+  double release = 0;
+  if (svt_.Observe(static_cast<double>(running_count_), &release)) {
+    rel.fired = true;
+    rel.size = ClampRoundNonNegative(release);
+    running_count_ = 0;
+    ++updates_;
+  }
+  return rel;
+}
+
+}  // namespace incshrink

@@ -1,0 +1,74 @@
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "src/common/rng.h"
+#include "src/dp/svt.h"
+
+namespace incshrink {
+
+/// \brief Leakage-profile mechanisms M_timer / M_ant (paper Section 6).
+///
+/// These are the *trusted-curator* DP mechanisms whose outputs, by
+/// Theorems 7 and 8, suffice to simulate everything an admissible adversary
+/// observes during protocol execution. They consume the stream of true
+/// per-step new-view-entry counts and emit the sequence {(t, v_t)} of
+/// released batch sizes. The structural SIM-CDP test feeds these into the
+/// Table-1 simulator and compares against the real protocol transcript.
+
+/// One released observation.
+struct LeakageRelease {
+  uint64_t t = 0;      ///< time step
+  uint32_t size = 0;   ///< released (noisy) batch size; 0 = no update
+  bool fired = false;  ///< whether an update was posted at t
+};
+
+/// M_timer: every T steps, release count(new entries in (t-T, t]) + Lap(b/eps).
+class TimerLeakageMechanism {
+ public:
+  TimerLeakageMechanism(double eps, double b, uint64_t T, Rng* rng);
+
+  /// Feeds the number of real view entries generated at step t (in order).
+  /// Returns the release for this step.
+  LeakageRelease Step(uint32_t new_entries);
+
+  uint64_t updates() const { return updates_; }
+
+ private:
+  double scale_;
+  uint64_t T_;
+  Rng* rng_;
+  uint64_t t_ = 0;
+  uint64_t window_count_ = 0;
+  uint64_t updates_ = 0;
+};
+
+/// M_ant: SVT over the running count since the last update; on firing,
+/// releases a noisy count and resets (paper Theorem 8 / Algorithm 5).
+class AntLeakageMechanism {
+ public:
+  AntLeakageMechanism(double eps, double b, double theta, Rng* rng);
+
+  LeakageRelease Step(uint32_t new_entries);
+
+  uint64_t updates() const { return updates_; }
+
+ private:
+  NumericAboveNoisyThreshold svt_;
+  uint64_t t_ = 0;
+  uint64_t running_count_ = 0;
+  uint64_t updates_ = 0;
+};
+
+/// Convenience: runs a mechanism over a whole count stream.
+template <typename Mechanism>
+std::vector<LeakageRelease> RunLeakageMechanism(
+    Mechanism* mech, const std::vector<uint32_t>& per_step_new_entries) {
+  std::vector<LeakageRelease> out;
+  out.reserve(per_step_new_entries.size());
+  for (uint32_t c : per_step_new_entries) out.push_back(mech->Step(c));
+  return out;
+}
+
+}  // namespace incshrink

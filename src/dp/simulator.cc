@@ -1,0 +1,52 @@
+#include "src/dp/simulator.h"
+
+#include <algorithm>
+
+#include "src/dp/transcript.h"
+
+namespace incshrink {
+
+const char* TranscriptKindName(TranscriptEvent::Kind kind) {
+  switch (kind) {
+    case TranscriptEvent::Kind::kUpload:
+      return "Upload";
+    case TranscriptEvent::Kind::kTransformOut:
+      return "TransformOut";
+    case TranscriptEvent::Kind::kSync:
+      return "Sync";
+    case TranscriptEvent::Kind::kFlush:
+      return "Flush";
+  }
+  return "Unknown";
+}
+
+Transcript SimulateTranscript(const std::vector<LeakageRelease>& releases,
+                              const SimulatorPublicParams& pp) {
+  Transcript out;
+  uint64_t cache_rows = 0;  // public: padded sizes only
+  for (const LeakageRelease& rel : releases) {
+    const uint64_t t = rel.t;
+    // 2.i: B1 — the owner-uploaded batch (size C_r, public).
+    out.push_back({TranscriptEvent::Kind::kUpload, t, pp.upload_rows(t)});
+    // 2.i/2.ii: B2 — the padded Transform output appended to the cache.
+    const uint64_t produced = pp.transform_rows(t);
+    out.push_back({TranscriptEvent::Kind::kTransformOut, t, produced});
+    cache_rows += produced;
+    // 2.ii/2.iii: B3 — the synchronized batch, |B3| = v_t (clamped to the
+    // public cache size exactly as the real cache read clamps).
+    if (rel.fired) {
+      const uint64_t sync = std::min<uint64_t>(rel.size, cache_rows);
+      out.push_back({TranscriptEvent::Kind::kSync, t, sync});
+      cache_rows -= sync;
+    }
+    // 2.iv: cache flush — fixed-size fetch, remainder recycled.
+    if (pp.flush_interval > 0 && t % pp.flush_interval == 0) {
+      const uint64_t flushed = std::min<uint64_t>(pp.flush_size, cache_rows);
+      out.push_back({TranscriptEvent::Kind::kFlush, t, flushed});
+      cache_rows = 0;
+    }
+  }
+  return out;
+}
+
+}  // namespace incshrink

@@ -1,0 +1,36 @@
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+#include "src/dp/mechanisms.h"
+#include "src/dp/transcript.h"
+
+namespace incshrink {
+
+/// \brief Public parameters available to the SIM-CDP simulator (paper
+/// Table 1): everything here is data-independent.
+struct SimulatorPublicParams {
+  /// Rows per owner upload at step t (C_r; fixed-size padded batches).
+  std::function<uint64_t(uint64_t t)> upload_rows;
+  /// Rows Transform appends to the cache at step t — a function of public
+  /// constants only (omega, batch sizes, window length).
+  std::function<uint64_t(uint64_t t)> transform_rows;
+  uint64_t flush_interval = 0;  ///< f; 0 disables flushing
+  uint64_t flush_size = 0;      ///< s
+};
+
+/// \brief The p.p.t. simulator S of Theorem 7/8 (paper Table 1), restricted
+/// to the structural part of the transcript.
+///
+/// Given only the leakage mechanism's outputs {(t, v_t)} and public
+/// parameters, reproduces the exact sequence of observable events (kinds,
+/// times and sizes) of a real protocol run. The test suite asserts equality
+/// with the transcript logged by the real engine — the executable core of
+/// the paper's indistinguishability argument (share payloads on both sides
+/// are uniformly random by the security of (2,2)-XOR sharing).
+Transcript SimulateTranscript(const std::vector<LeakageRelease>& releases,
+                              const SimulatorPublicParams& pp);
+
+}  // namespace incshrink

@@ -1,0 +1,37 @@
+#include "src/dp/svt.h"
+
+#include "src/common/logging.h"
+#include "src/dp/laplace.h"
+
+namespace incshrink {
+
+NumericAboveNoisyThreshold::NumericAboveNoisyThreshold(double eps,
+                                                       double sensitivity,
+                                                       double threshold,
+                                                       Rng* rng)
+    : eps1_(eps / 2), eps2_(eps / 2), sensitivity_(sensitivity),
+      threshold_(threshold), rng_(rng) {
+  INCSHRINK_CHECK_GT(eps, 0.0);
+  INCSHRINK_CHECK_GT(sensitivity, 0.0);
+  RefreshThreshold();
+}
+
+void NumericAboveNoisyThreshold::RefreshThreshold() {
+  // theta~ = theta + Lap(2 * Delta / eps1)   (Alg. 5 line 2 / Alg. 3 line 2)
+  noisy_threshold_ =
+      threshold_ + SampleLaplace(rng_, 2.0 * sensitivity_ / eps1_);
+}
+
+bool NumericAboveNoisyThreshold::Observe(double count, double* release) {
+  // c~ = c + Lap(4 * Delta / eps1)           (Alg. 5 line 4)
+  const double noisy_count =
+      count + SampleLaplace(rng_, 4.0 * sensitivity_ / eps1_);
+  if (noisy_count < noisy_threshold_) return false;
+  // Release c + Lap(2 * Delta / eps2) and refresh the threshold.
+  *release = count + SampleLaplace(rng_, 2.0 * sensitivity_ / eps2_);
+  ++releases_;
+  RefreshThreshold();
+  return true;
+}
+
+}  // namespace incshrink

@@ -1,0 +1,36 @@
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace incshrink {
+
+/// \brief One observable event of the view-update protocol.
+///
+/// This is exactly what an admissible adversary (one corrupted server) sees
+/// beyond uniformly random shares: the timing and *size* of each secure
+/// array that crosses the protocol boundary. Payloads never appear here —
+/// the security argument is that sizes alone (which are DP by Theorems 7/8)
+/// suffice to reproduce the whole transcript structure.
+struct TranscriptEvent {
+  enum class Kind : uint8_t {
+    kUpload,        ///< owners provision a (padded) batch of shared rows
+    kTransformOut,  ///< Transform appends padded view entries to the cache
+    kSync,          ///< Shrink moves a DP-sized prefix into the view
+    kFlush,         ///< cache flush moves a fixed prefix and recycles sigma
+  };
+
+  Kind kind;
+  uint64_t t;     ///< time step
+  uint64_t rows;  ///< observable number of shared rows moved
+
+  bool operator==(const TranscriptEvent&) const = default;
+};
+
+using Transcript = std::vector<TranscriptEvent>;
+
+/// Renders an event kind for test failure messages.
+const char* TranscriptKindName(TranscriptEvent::Kind kind);
+
+}  // namespace incshrink

@@ -1,0 +1,16 @@
+#include "src/mpc/cost_model.h"
+
+namespace incshrink {
+
+CostModel CostModel::Free() {
+  CostModel m;
+  m.seconds_per_and_gate = 0;
+  m.seconds_per_byte = 0;
+  m.seconds_per_round = 0;
+  m.bytes_per_and_gate = 0;
+  return m;
+}
+
+CostModel CostModel::EmpLikeLan() { return CostModel(); }
+
+}  // namespace incshrink

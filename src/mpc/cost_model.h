@@ -1,0 +1,69 @@
+#pragma once
+
+#include <cstdint>
+
+namespace incshrink {
+
+/// \brief Converts Boolean-circuit work into simulated wall-clock seconds.
+///
+/// The paper evaluates on EMP-Toolkit garbled circuits (half-gates): XOR
+/// gates are free, each AND gate costs two 128-bit ciphertexts of
+/// communication plus fixed garbling/evaluation work. This model reproduces
+/// that cost structure so every experiment's *relative* timings (Transform vs
+/// Shrink vs query; DP vs EP vs NM; scaling curves) have the same shape as
+/// the paper's measured numbers.
+struct CostModel {
+  /// Seconds of garbling+evaluation work per AND gate. Default corresponds
+  /// to ~10M AND gates/s, in the ballpark of EMP half-gates on one core.
+  double seconds_per_and_gate = 1e-7;
+
+  /// Seconds per byte moved between the two servers. Default corresponds to
+  /// a 1 Gb/s LAN link (as in the paper's GCP setup).
+  double seconds_per_byte = 8e-9;
+
+  /// Fixed latency charged per communication round (LAN RTT).
+  double seconds_per_round = 2e-4;
+
+  /// Bytes of communication per AND gate (half-gates: 2 x 128-bit labels).
+  double bytes_per_and_gate = 32.0;
+
+  /// Returns a model with all costs zeroed (for pure functional tests).
+  static CostModel Free();
+
+  /// Returns the default EMP-like LAN model described above.
+  static CostModel EmpLikeLan();
+};
+
+/// \brief Accumulated circuit statistics for a protocol (or protocol phase).
+struct CircuitStats {
+  uint64_t and_gates = 0;
+  uint64_t xor_gates = 0;
+  uint64_t bytes = 0;
+  uint64_t rounds = 0;
+
+  void Add(const CircuitStats& other) {
+    and_gates += other.and_gates;
+    xor_gates += other.xor_gates;
+    bytes += other.bytes;
+    rounds += other.rounds;
+  }
+
+  CircuitStats Diff(const CircuitStats& earlier) const {
+    return CircuitStats{and_gates - earlier.and_gates,
+                        xor_gates - earlier.xor_gates, bytes - earlier.bytes,
+                        rounds - earlier.rounds};
+  }
+
+  /// Simulated seconds under the given cost model. AND gates also charge
+  /// their ciphertext traffic (bytes_per_and_gate), on top of explicit
+  /// `bytes` (share transfers, revealed outputs).
+  double SimulatedSeconds(const CostModel& model) const {
+    const double gate_bytes =
+        static_cast<double>(and_gates) * model.bytes_per_and_gate;
+    return static_cast<double>(and_gates) * model.seconds_per_and_gate +
+           (static_cast<double>(bytes) + gate_bytes) * model.seconds_per_byte +
+           static_cast<double>(rounds) * model.seconds_per_round;
+  }
+};
+
+}  // namespace incshrink

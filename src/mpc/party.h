@@ -1,0 +1,35 @@
+#pragma once
+
+#include <cstdint>
+
+#include "src/common/rng.h"
+
+namespace incshrink {
+
+/// \brief One of the two non-colluding outsourcing servers (S0 / S1).
+///
+/// A party owns an independent randomness source — the randomness it
+/// *contributes* to joint noise generation and in-MPC re-sharing (paper
+/// Alg. 2 line 4 and Appendix A.2). A party never sees plaintext secrets;
+/// everything it stores outside the simulated protocol is a uniformly random
+/// XOR share.
+class Party {
+ public:
+  Party(int id, uint64_t seed) : id_(id), rng_(seed) {}
+
+  int id() const { return id_; }
+
+  /// The randomness this server contributes to the protocol. In a real
+  /// deployment each server samples locally and feeds the value in as a
+  /// private input; here the simulated runtime pulls from this stream.
+  Rng* rng() { return &rng_; }
+
+  /// Uniform ring element contributed as protocol input (z_i in the paper).
+  uint32_t ContributeRandomWord() { return rng_.Next32(); }
+
+ private:
+  int id_;
+  Rng rng_;
+};
+
+}  // namespace incshrink

@@ -1,0 +1,186 @@
+#include "src/mpc/protocol.h"
+
+#include <cmath>
+
+#include "src/common/fixed_point.h"
+#include "src/common/logging.h"
+
+namespace incshrink {
+
+namespace {
+
+/// AND-gate cost of a fixed-point natural-log circuit plus the scale
+/// multiplication used by joint noise generation. A 32-bit fixed-point log
+/// via polynomial approximation costs a few multiplications; 5 muls at w^2
+/// gates each is a representative garbled-circuit figure.
+constexpr uint64_t kJointNoiseAndGates = 5 * kWordBits * kWordBits;
+
+}  // namespace
+
+Protocol2PC::Protocol2PC(Party* s0, Party* s1, CostModel model)
+    : s0_(s0), s1_(s1), model_(model),
+      // The internal resharing stream is seeded from randomness contributed
+      // by BOTH parties, so neither can predict it alone (Appendix A.2).
+      internal_rng_((static_cast<uint64_t>(s0->ContributeRandomWord()) << 32) ^
+                    s1->ContributeRandomWord() ^ 0xA5A5A5A5DEADBEEFull) {}
+
+WordShares Protocol2PC::Reshare(Word value) {
+  const Word mask = internal_rng_.Next32();
+  return WordShares{mask, static_cast<Word>(value ^ mask)};
+}
+
+WordShares Protocol2PC::FreshShare(Word value) {
+  // Each server contributes z_i; c0 = z0 ^ z1, c1 = c0 ^ value. Two private
+  // inputs of one word each.
+  const Word z0 = s0_->ContributeRandomWord();
+  const Word z1 = s1_->ContributeRandomWord();
+  AccountBytes(2 * sizeof(Word));
+  AccountRounds(1);
+  const Word c0 = z0 ^ z1;
+  return WordShares{c0, static_cast<Word>(c0 ^ value)};
+}
+
+Word Protocol2PC::Reveal(const WordShares& x) {
+  AccountBytes(2 * sizeof(Word));
+  AccountRounds(1);
+  return x.s0 ^ x.s1;
+}
+
+WordShares Protocol2PC::Xor(const WordShares& a, const WordShares& b) {
+  AccountXorGates(kWordBits);
+  // Free-XOR: computed locally on shares, no fresh randomness needed.
+  return WordShares{static_cast<Word>(a.s0 ^ b.s0),
+                    static_cast<Word>(a.s1 ^ b.s1)};
+}
+
+WordShares Protocol2PC::Add(const WordShares& a, const WordShares& b) {
+  AccountAndGates(kWordBits);
+  return Reshare(RecoverInside(a) + RecoverInside(b));
+}
+
+WordShares Protocol2PC::Sub(const WordShares& a, const WordShares& b) {
+  AccountAndGates(kWordBits);
+  return Reshare(RecoverInside(a) - RecoverInside(b));
+}
+
+WordShares Protocol2PC::Mul(const WordShares& a, const WordShares& b) {
+  AccountAndGates(kWordBits * kWordBits);
+  return Reshare(RecoverInside(a) * RecoverInside(b));
+}
+
+WordShares Protocol2PC::LessThan(const WordShares& a, const WordShares& b) {
+  AccountAndGates(kWordBits);
+  return Reshare(RecoverInside(a) < RecoverInside(b) ? 1 : 0);
+}
+
+WordShares Protocol2PC::Equal(const WordShares& a, const WordShares& b) {
+  AccountAndGates(kWordBits);
+  return Reshare(RecoverInside(a) == RecoverInside(b) ? 1 : 0);
+}
+
+WordShares Protocol2PC::Mux(const WordShares& cond, const WordShares& a,
+                            const WordShares& b) {
+  AccountAndGates(kWordBits);
+  const Word c = RecoverInside(cond);
+  INCSHRINK_CHECK(c == 0 || c == 1);
+  return Reshare(c ? RecoverInside(a) : RecoverInside(b));
+}
+
+WordShares Protocol2PC::And(const WordShares& a, const WordShares& b) {
+  AccountAndGates(1);
+  return Reshare((RecoverInside(a) & RecoverInside(b)) & 1);
+}
+
+WordShares Protocol2PC::Or(const WordShares& a, const WordShares& b) {
+  AccountAndGates(1);
+  return Reshare((RecoverInside(a) | RecoverInside(b)) & 1);
+}
+
+WordShares Protocol2PC::Not(const WordShares& a) {
+  AccountXorGates(1);
+  return Reshare((RecoverInside(a) ^ 1) & 1);
+}
+
+WordShares Protocol2PC::RowWord(const SharedRows& rows, size_t row,
+                                size_t col) const {
+  return WordShares{rows.share0_at(row, col), rows.share1_at(row, col)};
+}
+
+void Protocol2PC::SetRowWord(SharedRows* rows, size_t row, size_t col,
+                             const WordShares& v) {
+  rows->set_share0_at(row, col, v.s0);
+  rows->set_share1_at(row, col, v.s1);
+}
+
+void Protocol2PC::MuxSwapRows(SharedRows* rows, size_t i, size_t j,
+                              const WordShares& swap) {
+  const size_t width = rows->width();
+  // XOR-swap circuit: per payload bit, one AND with the swap bit.
+  AccountAndGates(width * kWordBits);
+  const Word do_swap = RecoverInside(swap) & 1;
+  for (size_t c = 0; c < width; ++c) {
+    const Word a = rows->share0_at(i, c) ^ rows->share1_at(i, c);
+    const Word b = rows->share0_at(j, c) ^ rows->share1_at(j, c);
+    const Word new_i = do_swap ? b : a;
+    const Word new_j = do_swap ? a : b;
+    const WordShares si = Reshare(new_i);
+    const WordShares sj = Reshare(new_j);
+    rows->set_share0_at(i, c, si.s0);
+    rows->set_share1_at(i, c, si.s1);
+    rows->set_share0_at(j, c, sj.s0);
+    rows->set_share1_at(j, c, sj.s1);
+  }
+}
+
+void Protocol2PC::CompareExchangeRows(SharedRows* rows, size_t i, size_t j,
+                                      size_t key_col, bool ascending) {
+  INCSHRINK_CHECK_LT(i, j);
+  AccountAndGates(kWordBits);  // key comparison
+  const Word ki = rows->share0_at(i, key_col) ^ rows->share1_at(i, key_col);
+  const Word kj = rows->share0_at(j, key_col) ^ rows->share1_at(j, key_col);
+  const bool out_of_order = ascending ? (kj < ki) : (ki < kj);
+  MuxSwapRows(rows, i, j, Reshare(out_of_order ? 1 : 0));
+}
+
+void Protocol2PC::CompareExchangeRowsLex(SharedRows* rows, size_t i, size_t j,
+                                         size_t major_col, size_t minor_col,
+                                         bool ascending) {
+  INCSHRINK_CHECK_LT(i, j);
+  // Two comparisons + one equality + combine gates.
+  AccountAndGates(3 * kWordBits + 2);
+  const Word mi = rows->share0_at(i, major_col) ^ rows->share1_at(i, major_col);
+  const Word mj = rows->share0_at(j, major_col) ^ rows->share1_at(j, major_col);
+  const Word ni = rows->share0_at(i, minor_col) ^ rows->share1_at(i, minor_col);
+  const Word nj = rows->share0_at(j, minor_col) ^ rows->share1_at(j, minor_col);
+  const bool i_greater = mi > mj || (mi == mj && ni > nj);
+  const bool j_greater = mj > mi || (mj == mi && nj > ni);
+  const bool out_of_order = ascending ? i_greater : j_greater;
+  MuxSwapRows(rows, i, j, Reshare(out_of_order ? 1 : 0));
+}
+
+WordShares Protocol2PC::SumColumn(const SharedRows& rows, size_t col) {
+  // n-1 ripple-carry additions.
+  if (rows.size() > 0) AccountAndGates((rows.size() - 1) * kWordBits);
+  Word sum = 0;
+  for (size_t r = 0; r < rows.size(); ++r) {
+    sum += rows.share0_at(r, col) ^ rows.share1_at(r, col);
+  }
+  return Reshare(sum);
+}
+
+double Protocol2PC::JointLaplace(double scale) {
+  INCSHRINK_CHECK_GT(scale, 0.0);
+  const Word z0 = s0_->ContributeRandomWord();
+  const Word z1 = s1_->ContributeRandomWord();
+  AccountBytes(2 * sizeof(Word));
+  AccountRounds(1);
+  AccountAndGates(kJointNoiseAndGates);
+  const Word z = z0 ^ z1;
+  const double r = FixedPointOpenUnit(z);  // in (0, 1)
+  const double sign = SignFromMsb(z);
+  // scale * ln(r) <= 0 and |scale * ln(r)| ~ Exp(scale), so the product with
+  // the uniform sign bit is distributed exactly Lap(0, scale).
+  return scale * std::log(r) * sign;
+}
+
+}  // namespace incshrink

@@ -1,0 +1,166 @@
+#pragma once
+
+#include <cstdint>
+
+#include "src/common/rng.h"
+#include "src/mpc/cost_model.h"
+#include "src/mpc/party.h"
+#include "src/secret/share.h"
+#include "src/secret/shared_rows.h"
+
+namespace incshrink {
+
+/// Bit width of the ring Z_2^32 used for circuit cost accounting.
+inline constexpr uint64_t kWordBits = 32;
+
+/// \brief Simulated semi-honest two-party computation runtime.
+///
+/// This class plays the role EMP-Toolkit plays in the paper's prototype: it
+/// evaluates Boolean-circuit operations over XOR-shared 32-bit words between
+/// the two non-colluding servers S0 and S1.
+///
+/// Simulation model: the functionality of each gate is computed directly on
+/// the recovered values (the runtime acts as the ideal functionality), the
+/// result is re-shared with fresh randomness derived from both parties'
+/// contributed seeds, and the circuit cost (AND gates, communicated bytes,
+/// rounds) of the equivalent garbled-circuit protocol is charged to the
+/// running `CircuitStats`. Consequently:
+///  * each party's local state is always a stream of uniformly random shares
+///    (tested in `tests/mpc_test.cc`), and
+///  * control flow is data-independent — the same gate trace is produced for
+///    any two inputs of equal public size (tested in
+///    `tests/oblivious_test.cc`).
+///
+/// Simulated wall-clock time is obtained by pricing the accumulated stats
+/// through a `CostModel`.
+class Protocol2PC {
+ public:
+  Protocol2PC(Party* s0, Party* s1, CostModel model);
+
+  Party* s0() { return s0_; }
+  Party* s1() { return s1_; }
+  const CostModel& cost_model() const { return model_; }
+
+  // ------------------------------------------------------------------
+  // Cost accounting
+  // ------------------------------------------------------------------
+
+  const CircuitStats& stats() const { return stats_; }
+
+  /// Returns a snapshot usable with `StatsSince` to meter a phase.
+  CircuitStats Snapshot() const { return stats_; }
+  CircuitStats StatsSince(const CircuitStats& snap) const {
+    return stats_.Diff(snap);
+  }
+  double SimulatedSeconds() const { return stats_.SimulatedSeconds(model_); }
+  double SimulatedSecondsSince(const CircuitStats& snap) const {
+    return stats_.Diff(snap).SimulatedSeconds(model_);
+  }
+
+  void AccountAndGates(uint64_t n) { stats_.and_gates += n; }
+  void AccountXorGates(uint64_t n) { stats_.xor_gates += n; }
+  void AccountBytes(uint64_t n) { stats_.bytes += n; }
+  void AccountRounds(uint64_t n) { stats_.rounds += n; }
+
+  // ------------------------------------------------------------------
+  // Sharing / revealing
+  // ------------------------------------------------------------------
+
+  /// Produces a fresh sharing of `value` inside the protocol using
+  /// party-contributed randomness (Appendix A.2): c0 = z0 XOR z1,
+  /// c1 = c0 XOR value.
+  WordShares FreshShare(Word value);
+
+  /// Trivial sharing of a public constant: {v, 0}. Costs nothing.
+  static WordShares ConstShare(Word value) { return WordShares{value, 0}; }
+
+  /// Opens a shared value to both parties (each sends its share).
+  Word Reveal(const WordShares& x);
+
+  /// Recovers a value inside the protocol without revealing it to the
+  /// parties (e.g., Shrink recovering the cardinality counter "internally").
+  Word RecoverInside(const WordShares& x) const { return x.s0 ^ x.s1; }
+
+  // ------------------------------------------------------------------
+  // Word-level secure operations (all return fresh sharings and charge the
+  // garbled-circuit cost of the corresponding 32-bit Boolean circuit).
+  // ------------------------------------------------------------------
+
+  WordShares Xor(const WordShares& a, const WordShares& b);  ///< Free-XOR.
+  WordShares Add(const WordShares& a, const WordShares& b);
+  WordShares Sub(const WordShares& a, const WordShares& b);
+  WordShares Mul(const WordShares& a, const WordShares& b);
+  /// Unsigned a < b, returned as a sharing of 0/1.
+  WordShares LessThan(const WordShares& a, const WordShares& b);
+  /// a == b, returned as a sharing of 0/1.
+  WordShares Equal(const WordShares& a, const WordShares& b);
+  /// cond ? a : b. `cond` must be a sharing of 0/1.
+  WordShares Mux(const WordShares& cond, const WordShares& a,
+                 const WordShares& b);
+  /// Logical AND / OR / NOT of shared 0/1 bits.
+  WordShares And(const WordShares& a, const WordShares& b);
+  WordShares Or(const WordShares& a, const WordShares& b);
+  WordShares Not(const WordShares& a);
+
+  // ------------------------------------------------------------------
+  // Row-level secure operations over SharedRows
+  // ------------------------------------------------------------------
+
+  /// Reads the sharing of word (row, col).
+  WordShares RowWord(const SharedRows& rows, size_t row, size_t col) const;
+
+  /// Writes a sharing into word (row, col).
+  void SetRowWord(SharedRows* rows, size_t row, size_t col,
+                  const WordShares& v);
+
+  /// Obliviously swaps rows i and j iff the shared bit `swap` is 1, using the
+  /// XOR-swap circuit: one AND gate per payload bit.
+  void MuxSwapRows(SharedRows* rows, size_t i, size_t j,
+                   const WordShares& swap);
+
+  /// Compare-exchange for oblivious sorting networks: orders rows i and j by
+  /// the 32-bit key in `key_col` (ascending if `ascending`). Ties keep the
+  /// original order. Cost: one comparison + one row mux-swap.
+  void CompareExchangeRows(SharedRows* rows, size_t i, size_t j,
+                           size_t key_col, bool ascending);
+
+  /// Lexicographic compare-exchange on (major_col, minor_col). Used where a
+  /// total deterministic order is required (sorting networks are not stable,
+  /// so ties must be broken inside the comparator). Cost: two comparisons,
+  /// one equality, two gate-level combines, one row mux-swap.
+  void CompareExchangeRowsLex(SharedRows* rows, size_t i, size_t j,
+                              size_t major_col, size_t minor_col,
+                              bool ascending);
+
+  /// Sums column `col` over all rows (used for oblivious COUNT over isView
+  /// bits). Returns a sharing of the sum.
+  WordShares SumColumn(const SharedRows& rows, size_t col);
+
+  // ------------------------------------------------------------------
+  // Joint noise generation (paper Alg. 2 lines 4-6 / Section 5.2)
+  // ------------------------------------------------------------------
+
+  /// Samples Lap(scale) with randomness contributed by both servers:
+  /// z = z0 XOR z1, r = fixed_point(z) in (0,1),
+  /// noise = scale * ln(r) * sign(msb(z)).
+  /// Neither party alone can predict or bias the noise as long as the other
+  /// is honest. Charges the cost of a fixed-point log circuit.
+  double JointLaplace(double scale);
+
+  /// Internal combined randomness (seeded from both parties). Exposed for
+  /// oblivious operators that need in-protocol random choices (e.g. dummy
+  /// payload generation during padding).
+  Rng* internal_rng() { return &internal_rng_; }
+
+ private:
+  /// Re-shares a plaintext word with protocol-internal fresh randomness.
+  WordShares Reshare(Word value);
+
+  Party* s0_;
+  Party* s1_;
+  CostModel model_;
+  CircuitStats stats_;
+  Rng internal_rng_;
+};
+
+}  // namespace incshrink

@@ -1,0 +1,38 @@
+#include "src/oblivious/cache_ops.h"
+
+#include <algorithm>
+
+#include "src/oblivious/formats.h"
+#include "src/oblivious/sort.h"
+
+namespace incshrink {
+
+SharedRows ObliviousCacheRead(Protocol2PC* proto, SharedRows* cache,
+                              size_t read_size) {
+  // Fig. 3: oblivious sort moves all real tuples to the head (FIFO order),
+  // dummies to the tail; then cut off the first `read_size` elements.
+  ObliviousSort(proto, cache, kViewSortKeyCol, /*ascending=*/false);
+  read_size = std::min(read_size, cache->size());
+  // The fetched shares are re-addressed to the view object: charge transfer.
+  proto->AccountBytes(read_size * cache->width() * sizeof(Word) * 2);
+  proto->AccountRounds(1);
+  return cache->SplitPrefix(read_size);
+}
+
+SharedRows CacheFlush(Protocol2PC* proto, SharedRows* cache,
+                      size_t flush_size) {
+  ObliviousSort(proto, cache, kViewSortKeyCol, /*ascending=*/false);
+  flush_size = std::min(flush_size, cache->size());
+  proto->AccountBytes(flush_size * cache->width() * sizeof(Word) * 2);
+  proto->AccountRounds(1);
+  SharedRows fetched = cache->SplitPrefix(flush_size);
+  cache->Clear();  // recycle the remaining array (frees the memory space)
+  return fetched;
+}
+
+uint32_t CountRealInside(Protocol2PC* proto, const SharedRows& rows) {
+  const WordShares sum = proto->SumColumn(rows, kViewIsViewCol);
+  return proto->RecoverInside(sum);
+}
+
+}  // namespace incshrink

@@ -1,0 +1,34 @@
+#pragma once
+
+#include <cstddef>
+
+#include "src/mpc/protocol.h"
+#include "src/secret/shared_rows.h"
+
+namespace incshrink {
+
+/// \brief Secure-cache operations (paper Fig. 3 and Section 5.2).
+///
+/// The secure cache sigma is an exhaustively padded shared array in view-row
+/// format. Reads must never reveal which entries are real, so every access
+/// first obliviously sorts the whole cache by the cache ordering key (real
+/// tuples ahead of dummies, FIFO among real tuples) and then cuts a prefix
+/// of *public* length.
+
+/// Oblivious cache read: sorts `cache` and removes its first `read_size`
+/// rows, returning them. `read_size` is public (it is the DP-noised batch
+/// size released by Shrink); it is clamped to the cache size.
+SharedRows ObliviousCacheRead(Protocol2PC* proto, SharedRows* cache,
+                              size_t read_size);
+
+/// Cache flush (Section 5.2.1): sorts the cache, fetches the first
+/// `flush_size` rows, and recycles (drops) the remainder — including, with
+/// small probability, deferred real tuples. Returns the fetched rows.
+SharedRows CacheFlush(Protocol2PC* proto, SharedRows* cache,
+                      size_t flush_size);
+
+/// Obliviously counts real entries (isView == 1) in a view-format table.
+/// The result is known only inside the protocol.
+uint32_t CountRealInside(Protocol2PC* proto, const SharedRows& rows);
+
+}  // namespace incshrink

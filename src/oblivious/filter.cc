@@ -1,0 +1,78 @@
+#include "src/oblivious/filter.h"
+
+#include "src/common/logging.h"
+
+namespace incshrink {
+
+ObliviousPredicate ObliviousPredicate::True() {
+  return ObliviousPredicate{[](const std::vector<Word>&) { return true; }, 0};
+}
+
+ObliviousPredicate ObliviousPredicate::ColumnLess(size_t col, Word value) {
+  return ObliviousPredicate{
+      [col, value](const std::vector<Word>& row) { return row[col] < value; },
+      kWordBits};
+}
+
+ObliviousPredicate ObliviousPredicate::ColumnGreaterEq(size_t col,
+                                                       Word value) {
+  return ObliviousPredicate{
+      [col, value](const std::vector<Word>& row) { return row[col] >= value; },
+      kWordBits};
+}
+
+ObliviousPredicate ObliviousPredicate::ColumnEquals(size_t col, Word value) {
+  return ObliviousPredicate{
+      [col, value](const std::vector<Word>& row) { return row[col] == value; },
+      kWordBits};
+}
+
+ObliviousPredicate ObliviousPredicate::ColumnBetween(size_t col, Word lo,
+                                                     Word hi) {
+  return ObliviousPredicate{[col, lo, hi](const std::vector<Word>& row) {
+                              return row[col] >= lo && row[col] <= hi;
+                            },
+                            2 * kWordBits + 1};
+}
+
+ObliviousPredicate ObliviousPredicate::AndThen(ObliviousPredicate a,
+                                               ObliviousPredicate b) {
+  auto eval_a = std::move(a.eval);
+  auto eval_b = std::move(b.eval);
+  return ObliviousPredicate{
+      [eval_a, eval_b](const std::vector<Word>& row) {
+        return eval_a(row) && eval_b(row);
+      },
+      a.and_gates_per_row + b.and_gates_per_row + 1};
+}
+
+void ObliviousSelect(Protocol2PC* proto, SharedRows* rows, size_t flag_col,
+                     const ObliviousPredicate& pred) {
+  INCSHRINK_CHECK_LT(flag_col, rows->width());
+  const size_t n = rows->size();
+  // Per row: predicate circuit + one AND with the existing flag bit.
+  proto->AccountAndGates(n * (pred.and_gates_per_row + 1));
+  for (size_t r = 0; r < n; ++r) {
+    const std::vector<Word> row = rows->RecoverRow(r);
+    const Word keep = (row[flag_col] & 1) && pred.eval(row) ? 1 : 0;
+    const WordShares fresh =
+        ShareWord(keep, proto->internal_rng());
+    proto->SetRowWord(rows, r, flag_col, fresh);
+  }
+}
+
+WordShares ObliviousCountWhere(Protocol2PC* proto, const SharedRows& rows,
+                               size_t flag_col,
+                               const ObliviousPredicate& pred) {
+  const size_t n = rows.size();
+  // Per row: predicate circuit + AND with flag + ripple-carry accumulate.
+  proto->AccountAndGates(n * (pred.and_gates_per_row + 1 + kWordBits));
+  Word count = 0;
+  for (size_t r = 0; r < n; ++r) {
+    const std::vector<Word> row = rows.RecoverRow(r);
+    if ((row[flag_col] & 1) && pred.eval(row)) ++count;
+  }
+  return ShareWord(count, proto->internal_rng());
+}
+
+}  // namespace incshrink

@@ -1,0 +1,54 @@
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+#include "src/mpc/protocol.h"
+#include "src/secret/shared_rows.h"
+
+namespace incshrink {
+
+/// \brief A predicate evaluated inside the 2PC protocol.
+///
+/// `eval` receives the recovered plaintext row (ideal-functionality view) and
+/// returns whether it satisfies the predicate; `and_gates_per_row` is the
+/// size of the equivalent Boolean circuit, charged once per row so the cost
+/// accounting matches a real garbled-circuit evaluation.
+struct ObliviousPredicate {
+  std::function<bool(const std::vector<Word>&)> eval;
+  uint64_t and_gates_per_row = 2 * kWordBits;
+
+  /// Predicate that accepts every row (zero circuit cost).
+  static ObliviousPredicate True();
+
+  /// row[col] <=> value comparisons against a public constant.
+  static ObliviousPredicate ColumnLess(size_t col, Word value);
+  static ObliviousPredicate ColumnGreaterEq(size_t col, Word value);
+  static ObliviousPredicate ColumnEquals(size_t col, Word value);
+
+  /// lo <= row[col] <= hi.
+  static ObliviousPredicate ColumnBetween(size_t col, Word lo, Word hi);
+
+  /// Conjunction of two predicates (costs are additive plus one AND gate).
+  static ObliviousPredicate AndThen(ObliviousPredicate a,
+                                    ObliviousPredicate b);
+};
+
+/// \brief Oblivious selection (paper Appendix A.1.1).
+///
+/// Returns all input rows with `flag_col` rewritten to
+/// `old_flag AND predicate(row)`; rows failing the predicate become dummy
+/// tuples. The output size equals the input size, so selection leaks nothing
+/// beyond the public cardinality. Every flag word is re-shared.
+void ObliviousSelect(Protocol2PC* proto, SharedRows* rows, size_t flag_col,
+                     const ObliviousPredicate& pred);
+
+/// Obliviously counts rows whose `flag_col` is 1 AND that satisfy `pred`,
+/// without revealing which rows matched. This is the view-based query
+/// operator used to answer COUNT(*) requests over the materialized view.
+WordShares ObliviousCountWhere(Protocol2PC* proto, const SharedRows& rows,
+                               size_t flag_col,
+                               const ObliviousPredicate& pred);
+
+}  // namespace incshrink

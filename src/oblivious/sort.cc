@@ -1,0 +1,50 @@
+#include "src/oblivious/sort.h"
+
+namespace incshrink {
+
+namespace {
+
+/// Visits every compare-exchange (a, b) of Batcher's odd-even merge sorting
+/// network for arbitrary n, in execution order.
+template <typename Visitor>
+void ForEachCompareExchange(size_t n, Visitor&& visit) {
+  if (n < 2) return;
+  for (size_t p = 1; p < n; p <<= 1) {
+    for (size_t k = p; k >= 1; k >>= 1) {
+      for (size_t j = k % p; j + k < n; j += 2 * k) {
+        for (size_t i = 0; i < k; ++i) {
+          const size_t a = i + j;
+          const size_t b = i + j + k;
+          if (b >= n) break;
+          if (a / (p * 2) == b / (p * 2)) visit(a, b);
+        }
+      }
+      if (k == 1) break;
+    }
+  }
+}
+
+}  // namespace
+
+void ObliviousSort(Protocol2PC* proto, SharedRows* rows, size_t key_col,
+                   bool ascending) {
+  ForEachCompareExchange(rows->size(), [&](size_t a, size_t b) {
+    proto->CompareExchangeRows(rows, a, b, key_col, ascending);
+  });
+}
+
+void ObliviousSortLex(Protocol2PC* proto, SharedRows* rows, size_t major_col,
+                      size_t minor_col, bool ascending) {
+  ForEachCompareExchange(rows->size(), [&](size_t a, size_t b) {
+    proto->CompareExchangeRowsLex(rows, a, b, major_col, minor_col,
+                                  ascending);
+  });
+}
+
+uint64_t SortNetworkCompareExchanges(size_t n) {
+  uint64_t count = 0;
+  ForEachCompareExchange(n, [&](size_t, size_t) { ++count; });
+  return count;
+}
+
+}  // namespace incshrink

@@ -1,0 +1,38 @@
+#pragma once
+
+#include <vector>
+
+#include "src/common/rng.h"
+#include "src/oblivious/formats.h"
+#include "src/relational/growing_table.h"
+
+namespace incshrink {
+
+/// Encodes a logical record into the outsourced source-row format
+/// (`kSrc*` columns).
+inline Row EncodeSourceRow(const LogicalRecord& rec) {
+  Row row(kSrcWidth);
+  row[kSrcValidCol] = 1;
+  row[kSrcKeyCol] = rec.key;
+  row[kSrcDateCol] = rec.date;
+  row[kSrcRidCol] = rec.rid;
+  row[kSrcPayloadCol] = rec.payload;
+  return row;
+}
+
+/// Builds a dummy padding source row with random attributes. Its valid bit
+/// is 0, so it can never join; the random key keeps padding
+/// indistinguishable from real content once shared.
+inline Row MakeDummySourceRow(Rng* rng) {
+  Row row(kSrcWidth);
+  row[kSrcValidCol] = 0;
+  // Dummy keys live in the upper key space so they cannot collide with
+  // real keys (generators draw keys below 2^30).
+  row[kSrcKeyCol] = 0x40000000u | (rng->Next32() >> 2);
+  row[kSrcDateCol] = rng->Next32();
+  row[kSrcRidCol] = rng->Next32();
+  row[kSrcPayloadCol] = rng->Next32();
+  return row;
+}
+
+}  // namespace incshrink

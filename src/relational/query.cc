@@ -1,0 +1,51 @@
+#include "src/relational/query.h"
+
+namespace incshrink {
+
+uint64_t WindowJoinCounter::Step(const std::vector<LogicalRecord>& new_t1,
+                                 const std::vector<LogicalRecord>& new_t2) {
+  // New pairs are exactly: new_t2 x (old T1) plus new_t1 x (old T2 + new_t2);
+  // inserting new_t2 into idx2_ first makes the two sums disjoint and
+  // complete.
+  for (const LogicalRecord& b : new_t2) idx2_[b.key].push_back(b);
+  for (const LogicalRecord& b : new_t2) {
+    const auto it = idx1_.find(b.key);
+    if (it == idx1_.end()) continue;
+    for (const LogicalRecord& a : it->second) {
+      if (query_.Matches(a, b)) {
+        ++count_;
+        pairs_.push_back({a.key, a.date, b.date});
+      }
+    }
+  }
+  for (const LogicalRecord& a : new_t1) {
+    const auto it = idx2_.find(a.key);
+    if (it != idx2_.end()) {
+      for (const LogicalRecord& b : it->second) {
+        if (query_.Matches(a, b)) {
+          ++count_;
+          pairs_.push_back({a.key, a.date, b.date});
+        }
+      }
+    }
+    idx1_[a.key].push_back(a);
+  }
+  return count_;
+}
+
+uint64_t WindowJoinCounter::CountFull(const WindowJoinQuery& query,
+                                      const std::vector<LogicalRecord>& t1,
+                                      const std::vector<LogicalRecord>& t2) {
+  std::unordered_map<Word, std::vector<LogicalRecord>> idx;
+  for (const LogicalRecord& a : t1) idx[a.key].push_back(a);
+  uint64_t count = 0;
+  for (const LogicalRecord& b : t2) {
+    const auto it = idx.find(b.key);
+    if (it == idx.end()) continue;
+    for (const LogicalRecord& a : it->second)
+      if (query.Matches(a, b)) ++count;
+  }
+  return count;
+}
+
+}  // namespace incshrink

@@ -1,0 +1,20 @@
+#include "src/relational/schema.h"
+
+namespace incshrink {
+
+Schema::Schema(
+    std::initializer_list<std::pair<std::string, ColumnType>> cols) {
+  for (const auto& [name, type] : cols) {
+    names_.push_back(name);
+    types_.push_back(type);
+  }
+}
+
+Result<size_t> Schema::IndexOf(const std::string& name) const {
+  for (size_t i = 0; i < names_.size(); ++i) {
+    if (names_[i] == name) return i;
+  }
+  return Status::NotFound("no column named '" + name + "'");
+}
+
+}  // namespace incshrink

@@ -1,0 +1,46 @@
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "src/common/result.h"
+#include "src/secret/share.h"
+
+namespace incshrink {
+
+/// Column type of the plaintext relational layer. All values are encoded as
+/// 32-bit ring words before outsourcing, so the layer supports unsigned
+/// 32-bit attributes (ids, day-granularity dates, categorical codes).
+enum class ColumnType : uint8_t {
+  kUInt32,
+  kDate,  ///< days since epoch, stored as uint32
+  kId,    ///< key/identifier
+};
+
+/// \brief Relation schema: an ordered list of named, typed columns.
+class Schema {
+ public:
+  Schema() = default;
+  Schema(std::initializer_list<std::pair<std::string, ColumnType>> cols);
+
+  size_t num_columns() const { return names_.size(); }
+  const std::string& name(size_t i) const { return names_[i]; }
+  ColumnType type(size_t i) const { return types_[i]; }
+
+  /// Returns the index of the named column.
+  Result<size_t> IndexOf(const std::string& name) const;
+
+  bool operator==(const Schema& other) const {
+    return names_ == other.names_ && types_ == other.types_;
+  }
+
+ private:
+  std::vector<std::string> names_;
+  std::vector<ColumnType> types_;
+};
+
+/// A plaintext row: one word per schema column.
+using Row = std::vector<Word>;
+
+}  // namespace incshrink

@@ -1,0 +1,59 @@
+#include "src/secret/nparty.h"
+
+#include <cmath>
+
+#include "src/common/fixed_point.h"
+#include "src/common/logging.h"
+
+namespace incshrink {
+
+std::vector<Word> ShareWordN(Word value, size_t n, Rng* rng) {
+  INCSHRINK_CHECK_GE(n, 2u);
+  std::vector<Word> shares(n);
+  Word acc = 0;
+  for (size_t i = 0; i + 1 < n; ++i) {
+    shares[i] = rng->Next32();
+    acc ^= shares[i];
+  }
+  shares[n - 1] = value ^ acc;
+  return shares;
+}
+
+Word RecoverWordN(const std::vector<Word>& shares) {
+  Word value = 0;
+  for (Word s : shares) value ^= s;
+  return value;
+}
+
+std::vector<Word> ReshareInsideMpcN(
+    Word value, const std::vector<std::vector<Word>>& contributions) {
+  const size_t n = contributions.size();
+  INCSHRINK_CHECK_GE(n, 2u);
+  // z^j = XOR_i z_i^j: the j-th mask folds one value from every party, so
+  // it is uniform as long as any single party is honest (Appendix A.2
+  // steps 4-5).
+  std::vector<Word> shares(n);
+  Word acc = 0;
+  for (size_t j = 0; j + 1 < n; ++j) {
+    Word mask = 0;
+    for (size_t i = 0; i < n; ++i) {
+      INCSHRINK_CHECK_EQ(contributions[i].size(), n - 1);
+      mask ^= contributions[i][j];
+    }
+    shares[j] = mask;
+    acc ^= mask;
+  }
+  shares[n - 1] = value ^ acc;
+  return shares;
+}
+
+double JointLaplaceN(const std::vector<Word>& contributions, double scale) {
+  INCSHRINK_CHECK_GE(contributions.size(), 2u);
+  INCSHRINK_CHECK_GT(scale, 0.0);
+  Word z = 0;
+  for (Word c : contributions) z ^= c;
+  const double r = FixedPointOpenUnit(z);
+  return scale * std::log(r) * SignFromMsb(z);
+}
+
+}  // namespace incshrink

@@ -1,0 +1,41 @@
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "src/common/rng.h"
+#include "src/secret/share.h"
+
+namespace incshrink {
+
+/// \brief (N, N)-XOR secret sharing — the paper's multi-server extension
+/// (Section 8 "Expanding to multiple servers", Appendix A.2).
+///
+/// Owners share each ring word to N >= 2 servers; all N shares are required
+/// to recover, and any N-1 shares are jointly uniform, so the design
+/// tolerates up to N-1 corrupted servers.
+
+/// share(x) to n parties: n-1 uniform masks, the last share completes the
+/// XOR. Requires n >= 2.
+std::vector<Word> ShareWordN(Word value, size_t n, Rng* rng);
+
+/// recover: XOR of all shares.
+Word RecoverWordN(const std::vector<Word>& shares);
+
+/// \brief In-MPC re-sharing with party-contributed randomness
+/// (Appendix A.2): every party i contributes n-1 uniform values z_i^j; the
+/// protocol folds them into per-share masks so that no coalition of n-1
+/// parties can predict the remaining share.
+///
+/// `contributions[i]` holds party i's n-1 contributed values.
+std::vector<Word> ReshareInsideMpcN(
+    Word value, const std::vector<std::vector<Word>>& contributions);
+
+/// \brief N-party joint Laplace noise (Section 8): each server contributes a
+/// uniform ring element; the protocol XOR-folds all N into the fixed-point
+/// seed, so one honest contributor suffices for unpredictability, and only
+/// one noise instance is produced regardless of N.
+double JointLaplaceN(const std::vector<Word>& contributions, double scale);
+
+}  // namespace incshrink

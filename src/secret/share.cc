@@ -1,0 +1,37 @@
+#include "src/secret/share.h"
+
+#include "src/common/logging.h"
+
+namespace incshrink {
+
+WordShares ShareWord(Word value, Rng* rng) {
+  const Word mask = rng->Next32();
+  return WordShares{mask, static_cast<Word>(value ^ mask)};
+}
+
+WordShares RerandomizeWord(const WordShares& shares, Rng* rng) {
+  const Word mask = rng->Next32();
+  return WordShares{static_cast<Word>(shares.s0 ^ mask),
+                    static_cast<Word>(shares.s1 ^ mask)};
+}
+
+void ShareWords(const std::vector<Word>& values, Rng* rng,
+                std::vector<Word>* out0, std::vector<Word>* out1) {
+  out0->reserve(out0->size() + values.size());
+  out1->reserve(out1->size() + values.size());
+  for (Word v : values) {
+    const WordShares s = ShareWord(v, rng);
+    out0->push_back(s.s0);
+    out1->push_back(s.s1);
+  }
+}
+
+std::vector<Word> RecoverWords(const std::vector<Word>& shares0,
+                               const std::vector<Word>& shares1) {
+  INCSHRINK_CHECK_EQ(shares0.size(), shares1.size());
+  std::vector<Word> out(shares0.size());
+  for (size_t i = 0; i < shares0.size(); ++i) out[i] = shares0[i] ^ shares1[i];
+  return out;
+}
+
+}  // namespace incshrink

@@ -1,0 +1,77 @@
+#include "src/secret/shared_rows.h"
+
+#include <algorithm>
+
+#include "src/common/logging.h"
+
+namespace incshrink {
+
+void SharedRows::AppendSecretRow(const std::vector<Word>& row, Rng* rng) {
+  INCSHRINK_CHECK_EQ(row.size(), width_);
+  for (Word v : row) {
+    const WordShares s = ShareWord(v, rng);
+    shares0_.push_back(s.s0);
+    shares1_.push_back(s.s1);
+  }
+  ++rows_;
+}
+
+void SharedRows::AppendSharedRow(const std::vector<Word>& share0,
+                                 const std::vector<Word>& share1) {
+  INCSHRINK_CHECK_EQ(share0.size(), width_);
+  INCSHRINK_CHECK_EQ(share1.size(), width_);
+  shares0_.insert(shares0_.end(), share0.begin(), share0.end());
+  shares1_.insert(shares1_.end(), share1.begin(), share1.end());
+  ++rows_;
+}
+
+void SharedRows::AppendAll(const SharedRows& other) {
+  INCSHRINK_CHECK_EQ(other.width_, width_);
+  shares0_.insert(shares0_.end(), other.shares0_.begin(),
+                  other.shares0_.end());
+  shares1_.insert(shares1_.end(), other.shares1_.begin(),
+                  other.shares1_.end());
+  rows_ += other.rows_;
+}
+
+SharedRows SharedRows::SplitPrefix(size_t n) {
+  n = std::min(n, rows_);
+  SharedRows head(width_);
+  const size_t words = n * width_;
+  head.shares0_.assign(shares0_.begin(), shares0_.begin() + words);
+  head.shares1_.assign(shares1_.begin(), shares1_.begin() + words);
+  head.rows_ = n;
+  shares0_.erase(shares0_.begin(), shares0_.begin() + words);
+  shares1_.erase(shares1_.begin(), shares1_.begin() + words);
+  rows_ -= n;
+  return head;
+}
+
+void SharedRows::Clear() {
+  shares0_.clear();
+  shares1_.clear();
+  rows_ = 0;
+}
+
+void SharedRows::Truncate(size_t n) {
+  if (n >= rows_) return;
+  shares0_.resize(n * width_);
+  shares1_.resize(n * width_);
+  rows_ = n;
+}
+
+std::vector<Word> SharedRows::RecoverRow(size_t i) const {
+  INCSHRINK_CHECK_LT(i, rows_);
+  std::vector<Word> out(width_);
+  for (size_t c = 0; c < width_; ++c)
+    out[c] = shares0_[i * width_ + c] ^ shares1_[i * width_ + c];
+  return out;
+}
+
+Word SharedRows::RecoverAt(size_t row, size_t col) const {
+  INCSHRINK_CHECK_LT(row, rows_);
+  INCSHRINK_CHECK_LT(col, width_);
+  return shares0_[row * width_ + col] ^ shares1_[row * width_ + col];
+}
+
+}  // namespace incshrink

@@ -1,0 +1,32 @@
+#pragma once
+
+#include <cstdint>
+
+#include "src/oblivious/formats.h"
+#include "src/secret/shared_rows.h"
+
+namespace incshrink {
+
+/// \brief The materialized view V: a growing secret-shared table of
+/// view-format rows, the only object the servers touch to answer queries.
+class MaterializedView {
+ public:
+  MaterializedView() : rows_(kViewWidth) {}
+
+  const SharedRows& rows() const { return rows_; }
+  size_t size() const { return rows_.size(); }
+
+  /// V <- V union o (Alg. 2 line 8).
+  void Append(const SharedRows& batch) { rows_.AppendAll(batch); }
+
+  /// Size in megabytes across both servers' shares — the paper's
+  /// "materialized view size (Mb)" metric in Table 2.
+  double SizeMb() const {
+    return static_cast<double>(rows_.TotalBytes()) / (1024.0 * 1024.0);
+  }
+
+ private:
+  SharedRows rows_;
+};
+
+}  // namespace incshrink

@@ -1,0 +1,31 @@
+#include "src/storage/outsourced_store.h"
+
+#include <algorithm>
+
+#include "src/common/logging.h"
+
+namespace incshrink {
+
+uint64_t OutsourcedTable::AppendBatch(SharedRows batch) {
+  INCSHRINK_CHECK_EQ(batch.width(), width_);
+  total_rows_ += batch.size();
+  batches_.push_back(std::move(batch));
+  return batches_.size() - 1;
+}
+
+SharedRows OutsourcedTable::ConcatRange(uint64_t from, uint64_t to) const {
+  SharedRows out(width_);
+  if (batches_.empty()) return out;
+  to = std::min<uint64_t>(to, batches_.size() - 1);
+  for (uint64_t s = from; s <= to && s < batches_.size(); ++s) {
+    out.AppendAll(batches_[s]);
+  }
+  return out;
+}
+
+SharedRows OutsourcedTable::ConcatAll() const {
+  if (batches_.empty()) return SharedRows(width_);
+  return ConcatRange(0, batches_.size() - 1);
+}
+
+}  // namespace incshrink

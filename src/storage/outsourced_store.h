@@ -1,0 +1,49 @@
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "src/common/rng.h"
+#include "src/secret/shared_rows.h"
+
+namespace incshrink {
+
+/// \brief The outsourced data DS for one relation: the secret-shared,
+/// dummy-padded batches uploaded by the owner, organized by upload step.
+///
+/// The per-step batch sizes are public (the owner uploads a fixed-size block
+/// at predetermined intervals — paper Section 2.3), so exposing batches by
+/// step index leaks nothing beyond the public update policy.
+class OutsourcedTable {
+ public:
+  explicit OutsourcedTable(size_t row_width) : width_(row_width) {}
+
+  size_t width() const { return width_; }
+
+  /// Number of upload steps recorded so far.
+  uint64_t steps() const { return batches_.size(); }
+
+  /// Total shared rows across all batches (real + padding).
+  uint64_t total_rows() const { return total_rows_; }
+
+  /// Appends the batch uploaded at the next step. Returns its step index.
+  uint64_t AppendBatch(SharedRows batch);
+
+  /// The batch uploaded at `step` (0-based).
+  const SharedRows& batch(uint64_t step) const { return batches_[step]; }
+
+  /// Concatenates the batches of steps [from, to] (inclusive, clamped) —
+  /// the sliding-window input to Transform. Returns an empty table when the
+  /// range is empty.
+  SharedRows ConcatRange(uint64_t from, uint64_t to) const;
+
+  /// Concatenates every batch (the full DS, used by the NM baseline).
+  SharedRows ConcatAll() const;
+
+ private:
+  size_t width_;
+  std::vector<SharedRows> batches_;
+  uint64_t total_rows_ = 0;
+};
+
+}  // namespace incshrink

@@ -1,0 +1,56 @@
+#pragma once
+
+#include <cstdint>
+
+#include "src/mpc/protocol.h"
+#include "src/oblivious/formats.h"
+#include "src/secret/shared_rows.h"
+
+namespace incshrink {
+
+/// \brief The secure outsourced cache sigma (paper Section 2.2).
+///
+/// An exhaustively padded, secret-shared array of view-format rows plus the
+/// secret-shared cardinality counter c that Transform maintains and Shrink
+/// consumes (Alg. 1 lines 1-2, 4-6). The cache's *row count* is public; the
+/// split between real entries and dummies is not.
+class SecureCache {
+ public:
+  explicit SecureCache(Protocol2PC* proto)
+      : rows_(kViewWidth), counter_(proto->FreshShare(0)) {}
+
+  SharedRows* rows() { return &rows_; }
+  const SharedRows& rows() const { return rows_; }
+  size_t size() const { return rows_.size(); }
+
+  /// Appends Transform output (sigma <- sigma || DeltaV, Alg. 1 line 7).
+  void Append(const SharedRows& delta) { rows_.AppendAll(delta); }
+
+  /// The secret-shared cardinality counter [c].
+  const WordShares& counter() const { return counter_; }
+
+  /// Recovers c inside the protocol (Alg. 2 line 3 "recover c internally").
+  uint32_t RecoverCounterInside(Protocol2PC* proto) const {
+    return proto->RecoverInside(counter_);
+  }
+
+  /// c <- c + delta, re-shared with fresh randomness (Alg. 1 lines 4-6).
+  void AddToCounter(Protocol2PC* proto, uint32_t delta) {
+    const uint32_t c = proto->RecoverInside(counter_);
+    proto->AccountAndGates(kWordBits);  // in-circuit addition
+    counter_ = proto->FreshShare(c + delta);
+  }
+
+  /// Resets c = 0 and re-shares it (Alg. 2 line 9).
+  void ResetCounter(Protocol2PC* proto) { counter_ = proto->FreshShare(0); }
+
+  /// Monotone insertion sequence used to build FIFO cache sort keys.
+  uint32_t* seq() { return &seq_; }
+
+ private:
+  SharedRows rows_;
+  WordShares counter_;
+  uint32_t seq_ = 0;
+};
+
+}  // namespace incshrink

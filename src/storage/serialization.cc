@@ -1,0 +1,83 @@
+#include "src/storage/serialization.h"
+
+#include <cstring>
+
+namespace incshrink {
+
+namespace {
+
+constexpr char kMagic[4] = {'I', 'S', 'R', '1'};
+
+void AppendU64(std::vector<uint8_t>* out, uint64_t v) {
+  for (int i = 0; i < 8; ++i) out->push_back((v >> (8 * i)) & 0xFF);
+}
+
+void AppendU32(std::vector<uint8_t>* out, uint32_t v) {
+  for (int i = 0; i < 4; ++i) out->push_back((v >> (8 * i)) & 0xFF);
+}
+
+uint64_t ReadU64(const uint8_t* p) {
+  uint64_t v = 0;
+  for (int i = 0; i < 8; ++i) v |= static_cast<uint64_t>(p[i]) << (8 * i);
+  return v;
+}
+
+uint32_t ReadU32(const uint8_t* p) {
+  uint32_t v = 0;
+  for (int i = 0; i < 4; ++i) v |= static_cast<uint32_t>(p[i]) << (8 * i);
+  return v;
+}
+
+}  // namespace
+
+std::vector<uint8_t> SerializeShares(const SharedRows& rows, int server) {
+  std::vector<uint8_t> out;
+  out.reserve(20 + rows.size() * rows.width() * 4);
+  for (char c : kMagic) out.push_back(static_cast<uint8_t>(c));
+  AppendU64(&out, rows.width());
+  AppendU64(&out, rows.size());
+  const std::vector<Word>& words =
+      server == 0 ? rows.shares0() : rows.shares1();
+  for (Word w : words) AppendU32(&out, w);
+  return out;
+}
+
+Result<ShareBlob> ParseShareBlob(const std::vector<uint8_t>& bytes) {
+  if (bytes.size() < 20) return Status::InvalidArgument("blob too short");
+  if (std::memcmp(bytes.data(), kMagic, 4) != 0) {
+    return Status::InvalidArgument("bad magic");
+  }
+  ShareBlob blob;
+  blob.width = ReadU64(bytes.data() + 4);
+  blob.rows = ReadU64(bytes.data() + 12);
+  const uint64_t expected_words = blob.width * blob.rows;
+  if (bytes.size() != 20 + expected_words * 4) {
+    return Status::InvalidArgument("blob size does not match dimensions");
+  }
+  blob.words.reserve(expected_words);
+  for (uint64_t i = 0; i < expected_words; ++i) {
+    blob.words.push_back(ReadU32(bytes.data() + 20 + i * 4));
+  }
+  return blob;
+}
+
+Result<SharedRows> CombineShareBlobs(const std::vector<uint8_t>& server0,
+                                     const std::vector<uint8_t>& server1) {
+  INCSHRINK_ASSIGN_OR_RETURN(const ShareBlob b0, ParseShareBlob(server0));
+  INCSHRINK_ASSIGN_OR_RETURN(const ShareBlob b1, ParseShareBlob(server1));
+  if (b0.width != b1.width || b0.rows != b1.rows) {
+    return Status::InvalidArgument("share blobs disagree on dimensions");
+  }
+  SharedRows rows(b0.width);
+  std::vector<Word> row0(b0.width), row1(b0.width);
+  for (uint64_t r = 0; r < b0.rows; ++r) {
+    for (uint64_t c = 0; c < b0.width; ++c) {
+      row0[c] = b0.words[r * b0.width + c];
+      row1[c] = b1.words[r * b0.width + c];
+    }
+    rows.AppendSharedRow(row0, row1);
+  }
+  return rows;
+}
+
+}  // namespace incshrink

@@ -1,0 +1,39 @@
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "src/common/result.h"
+#include "src/secret/shared_rows.h"
+
+namespace incshrink {
+
+/// \brief Snapshot serialization for secret-shared tables.
+///
+/// Servers must be able to persist and restore their halves of the secure
+/// objects (outsourced stores, cache, materialized view) across restarts.
+/// Each server serializes *only its own share array*; the wire format is
+/// deliberately share-local so a serialized blob from one server reveals
+/// nothing (it is a uniformly random word stream plus public dimensions).
+///
+/// Format (little-endian):
+///   magic "ISR1" | u64 width | u64 rows | width*rows u32 words
+
+/// Serializes one server's share of `rows` (`server` is 0 or 1).
+std::vector<uint8_t> SerializeShares(const SharedRows& rows, int server);
+
+/// Parses a share blob; returns (width, rows, words).
+struct ShareBlob {
+  uint64_t width = 0;
+  uint64_t rows = 0;
+  std::vector<Word> words;
+};
+Result<ShareBlob> ParseShareBlob(const std::vector<uint8_t>& bytes);
+
+/// Reassembles a SharedRows from the two servers' blobs. Fails unless both
+/// blobs agree on dimensions.
+Result<SharedRows> CombineShareBlobs(const std::vector<uint8_t>& server0,
+                                     const std::vector<uint8_t>& server1);
+
+}  // namespace incshrink

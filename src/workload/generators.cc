@@ -1,0 +1,190 @@
+#include "src/workload/generators.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "src/common/logging.h"
+#include "src/common/rng.h"
+
+namespace incshrink {
+
+namespace {
+
+/// Keys/rids are drawn below 2^30 so composite sort keys (key*2 + tag) fit
+/// the 32-bit ring and never collide with dummy-row keys.
+constexpr Word kKeyBase = 1;
+
+/// Arrival-rate weight for bursty streams: 2 hot steps out of every 10
+/// carry 4x the average rate, the other 8 carry 0.25x (mean weight 1).
+double BurstWeight(bool bursty, uint64_t t) {
+  if (!bursty) return 1.0;
+  return (t % 10) < 2 ? 4.0 : 0.25;
+}
+
+}  // namespace
+
+GeneratedWorkload GenerateTpcDs(const TpcDsParams& params) {
+  Rng rng(params.seed);
+  GeneratedWorkload w;
+  w.t1.resize(params.steps);
+  w.t2.resize(params.steps);
+
+  const double sales_rate = params.sales_per_step * params.scale;
+  const double return_p =
+      std::min(1.0, params.return_probability * params.view_rate_scale);
+
+  Word next_key = kKeyBase;
+  Word next_rid = 1;
+  for (uint64_t t = 0; t < params.steps; ++t) {
+    const uint64_t sales =
+        rng.Poisson(sales_rate * BurstWeight(params.bursty, t));
+    for (uint64_t i = 0; i < sales; ++i) {
+      LogicalRecord sale;
+      sale.step = t + 1;
+      sale.rid = next_rid++;
+      sale.key = next_key++;  // each product sold once: multiplicity 1
+      sale.date = static_cast<Word>(t + 1);
+      sale.payload = rng.Next32();
+      w.t1[t].push_back(sale);
+      ++w.total_t1;
+      if (rng.Bernoulli(return_p)) {
+        // In bursty mode returns follow their sales quickly, so the
+        // view-entry process spikes with the sales process instead of being
+        // smeared across the return window.
+        const uint32_t max_delay =
+            params.bursty ? std::min(2u, params.max_return_delay_days)
+                          : params.max_return_delay_days;
+        const uint32_t delay =
+            static_cast<uint32_t>(rng.Uniform(max_delay + 1));
+        const uint64_t rstep = t + delay;  // 1 day per step
+        if (rstep < params.steps) {
+          LogicalRecord ret;
+          ret.step = rstep + 1;
+          ret.rid = next_rid++;
+          ret.key = sale.key;
+          ret.date = sale.date + delay;
+          ret.payload = rng.Next32();
+          w.t2[rstep].push_back(ret);
+          ++w.total_t2;
+          ++w.total_view_entries;
+        }
+      }
+    }
+  }
+  // Arrival lists must be ordered by step for t2 (they were appended at
+  // generation time of the sale, which is already non-decreasing in t).
+  return w;
+}
+
+GeneratedWorkload GenerateCpdb(const CpdbParams& params) {
+  Rng rng(params.seed);
+  GeneratedWorkload w;
+  w.t1.resize(params.steps);
+  w.t2.resize(params.steps);
+
+  const double alleg_rate =
+      params.allegations_per_step * params.scale * params.view_rate_scale;
+
+  Word next_key = kKeyBase;
+  Word next_rid = 1;
+  for (uint64_t t = 0; t < params.steps; ++t) {
+    const uint64_t allegations =
+        rng.Poisson(alleg_rate * BurstWeight(params.bursty, t));
+    for (uint64_t i = 0; i < allegations; ++i) {
+      LogicalRecord alleg;
+      alleg.step = t + 1;
+      alleg.rid = next_rid++;
+      alleg.key = next_key++;  // one officer per allegation in this stream
+      const uint32_t day_offset = static_cast<uint32_t>(
+          rng.Uniform(params.days_per_step));  // 0..4
+      alleg.date =
+          static_cast<Word>(t * params.days_per_step + day_offset + 1);
+      alleg.payload = rng.Next32();
+      w.t1[t].push_back(alleg);
+      ++w.total_t1;
+
+      uint64_t awards = rng.Poisson(params.awards_per_allegation);
+      awards = std::min<uint64_t>(awards, params.max_awards);
+      for (uint64_t a = 0; a < awards; ++a) {
+        // Award delay stays inside both the 10-day window and the record's
+        // next-step eligibility (delta <= 2*days_per_step - 1 - day_offset).
+        const uint32_t max_delta =
+            2 * params.days_per_step - 1 - day_offset;
+        const uint32_t delta =
+            static_cast<uint32_t>(rng.Uniform(max_delta + 1));
+        const Word award_day = alleg.date + delta;
+        const uint64_t astep = (award_day - 1) / params.days_per_step;
+        if (astep >= params.steps) continue;
+        LogicalRecord award;
+        award.step = astep + 1;
+        award.rid = next_rid++;
+        award.key = alleg.key;
+        award.date = award_day;
+        award.payload = rng.Next32();
+        w.t2[astep].push_back(award);
+        ++w.total_t2;
+        ++w.total_view_entries;
+      }
+    }
+  }
+  // Awards can be emitted out of arrival order within a step; the engine
+  // does not care, but keep rids deterministic for reproducibility.
+  return w;
+}
+
+IncShrinkConfig DefaultTpcDsConfig() {
+  IncShrinkConfig cfg;
+  cfg.eps = 1.5;
+  cfg.omega = 1;
+  cfg.budget_b = 10;
+  cfg.join = JoinSpec{0, 10, true, 1, true, true};
+  cfg.window_steps = 10;
+  cfg.t2_is_public = false;
+  cfg.strategy = Strategy::kDpTimer;
+  cfg.timer_T = 10;  // floor(theta / 2.7) per the paper's consistency rule
+  cfg.ant_theta = 30;
+  // Paper defaults are f = 2000, s = 15 over ~1800 steps (≈ one flush per
+  // run). Our streams are shorter, so we keep a comparable flush-per-run
+  // ratio and size the flush by the Theorem-4 deferred-data bound
+  // (alpha = 2b/eps * sqrt(k log 1/beta) ~ 113 at k ~ 24, beta = 0.05) so
+  // that, per Section 5.2.1, real data is recycled only with small
+  // probability.
+  cfg.flush_interval = 120;
+  cfg.flush_size = 120;
+  cfg.upload_rows_t1 = 8;
+  cfg.upload_rows_t2 = 8;
+  cfg.seed = 42;
+  return cfg;
+}
+
+IncShrinkConfig DefaultCpdbConfig() {
+  IncShrinkConfig cfg;
+  cfg.eps = 1.5;
+  cfg.omega = 10;
+  cfg.budget_b = 20;
+  cfg.join = JoinSpec{0, 10, true, 10, true, false};
+  cfg.window_steps = 2;
+  cfg.t2_is_public = true;
+  cfg.strategy = Strategy::kDpTimer;
+  cfg.timer_T = 3;  // floor(theta / 9.8)
+  cfg.ant_theta = 30;
+  // Flush size per the Theorem-4 bound with b = 20 (see the TPC-ds config).
+  cfg.flush_interval = 60;
+  cfg.flush_size = 240;
+  cfg.upload_rows_t1 = 4;
+  cfg.upload_rows_t2 = 12;
+  cfg.seed = 43;
+  return cfg;
+}
+
+void ScaleConfigBatches(IncShrinkConfig* config, double scale) {
+  INCSHRINK_CHECK_GT(scale, 0.0);
+  const auto scale_up = [scale](uint32_t v) -> uint32_t {
+    return std::max<uint32_t>(
+        1, static_cast<uint32_t>(std::ceil(v * scale)));
+  };
+  config->upload_rows_t1 = scale_up(config->upload_rows_t1);
+  config->upload_rows_t2 = scale_up(config->upload_rows_t2);
+}
+
+}  // namespace incshrink

@@ -1,0 +1,85 @@
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "src/core/config.h"
+#include "src/relational/growing_table.h"
+
+namespace incshrink {
+
+/// \brief A generated growing-data stream: per-step arrival lists for the
+/// two relations of a windowed-join workload.
+struct GeneratedWorkload {
+  std::vector<std::vector<LogicalRecord>> t1;
+  std::vector<std::vector<LogicalRecord>> t2;
+  uint64_t total_t1 = 0;
+  uint64_t total_t2 = 0;
+  /// Total qualifying join pairs across the whole stream (exact).
+  uint64_t total_view_entries = 0;
+
+  uint64_t steps() const { return t1.size(); }
+  double avg_view_entries_per_step() const {
+    return t1.empty() ? 0.0
+                      : static_cast<double>(total_view_entries) /
+                            static_cast<double>(t1.size());
+  }
+};
+
+/// \brief Synthetic TPC-ds-like Sales/Returns stream (paper Q1 workload).
+///
+/// The paper streams the TPC-ds Sales (2.2M rows) and Returns (270k rows)
+/// tables by sale/return date with daily uploads; the quantity that drives
+/// every experiment is the view-entry arrival process — on average 2.7 new
+/// join pairs per step, join multiplicity 1 (a sale is returned at most
+/// once, within 10 days). This generator reproduces those statistics:
+/// Poisson sales arrivals, each returned with fixed probability after a
+/// bounded delay.
+struct TpcDsParams {
+  uint64_t steps = 360;
+  double sales_per_step = 6.0;
+  double return_probability = 0.45;   ///< 6.0 * 0.45 = 2.7 views/step
+  uint32_t max_return_delay_days = 9; ///< within the 10-day window
+  double scale = 1.0;                 ///< Fig. 9: scales the whole stream
+  double view_rate_scale = 1.0;       ///< Fig. 6: Sparse = 0.1, Burst = 2.0
+  /// Fig. 6 Burst variant: concentrates arrivals into periodic spikes
+  /// (2 hot steps out of every 10 carry ~80% of the volume) instead of a
+  /// uniform rate — the regime where sDPANT's adaptive schedule wins.
+  bool bursty = false;
+  uint64_t seed = 7;
+};
+GeneratedWorkload GenerateTpcDs(const TpcDsParams& params);
+
+/// \brief Synthetic CPDB-like Allegation/Award stream (paper Q2 workload).
+///
+/// Allegation (private) arrivals are Poisson; each allegation's officer
+/// later receives several awards (the Award relation is public), giving
+/// join multiplicity > 1 — on average 9.8 new view pairs per step. Award
+/// delays stay within the 10-day window and within the record's eligibility
+/// (b = 2*omega: two Transform participations at 5-day steps).
+struct CpdbParams {
+  uint64_t steps = 240;
+  double allegations_per_step = 1.4;
+  double awards_per_allegation = 7.0;  ///< 1.4 * 7 = 9.8 views/step
+  uint32_t max_awards = 10;            ///< <= default omega: no truncation
+  uint32_t days_per_step = 5;
+  double scale = 1.0;
+  double view_rate_scale = 1.0;  ///< scales the allegation rate
+  bool bursty = false;           ///< see TpcDsParams::bursty
+  uint64_t seed = 9;
+};
+GeneratedWorkload GenerateCpdb(const CpdbParams& params);
+
+/// Default engine configurations matched to the generators above, mirroring
+/// the paper's Section-7 defaults (eps = 1.5; omega = 1, b = 10, T = 10 for
+/// TPC-ds; omega = 10, b = 20, T = 3 for CPDB; theta = 30) with the cache
+/// flush cadence scaled to our shorter streams.
+IncShrinkConfig DefaultTpcDsConfig();
+IncShrinkConfig DefaultCpdbConfig();
+
+/// Applies a Fig.9-style scale factor to the upload batch sizes of `config`
+/// (data volume scales with the stream).
+void ScaleConfigBatches(IncShrinkConfig* config, double scale);
+
+}  // namespace incshrink

@@ -1,0 +1,75 @@
+#include "src/workload/runner.h"
+
+#include <cmath>
+#include <cstdio>
+
+#include "src/common/logging.h"
+
+namespace incshrink {
+
+RunSummary RunWorkload(const IncShrinkConfig& config,
+                       const GeneratedWorkload& workload) {
+  Engine engine(config);
+  const Status st = engine.Run(workload.t1, workload.t2);
+  INCSHRINK_CHECK(st.ok());
+  return engine.Summary();
+}
+
+AveragedRun RunWorkloadAveraged(const IncShrinkConfig& config,
+                                const GeneratedWorkload& workload,
+                                int num_seeds) {
+  INCSHRINK_CHECK_GT(num_seeds, 0);
+  AveragedRun avg;
+  for (int i = 0; i < num_seeds; ++i) {
+    IncShrinkConfig cfg = config;
+    cfg.seed = config.seed + 7919ull * static_cast<uint64_t>(i);
+    const RunSummary s = RunWorkload(cfg, workload);
+    avg.l1_error += s.l1_error.mean();
+    avg.relative_error += s.OverallRelativeError();
+    avg.qet_seconds += s.qet_seconds.mean();
+    avg.transform_seconds += s.transform_seconds.mean();
+    avg.shrink_seconds += s.shrink_seconds.mean();
+    avg.total_mpc_seconds += s.total_mpc_seconds;
+    avg.total_query_seconds += s.total_query_seconds;
+    avg.view_mb += s.final_view_mb;
+    avg.updates += static_cast<double>(s.updates);
+  }
+  const double n = num_seeds;
+  avg.l1_error /= n;
+  avg.relative_error /= n;
+  avg.qet_seconds /= n;
+  avg.transform_seconds /= n;
+  avg.shrink_seconds /= n;
+  avg.total_mpc_seconds /= n;
+  avg.total_query_seconds /= n;
+  avg.view_mb /= n;
+  avg.updates /= n;
+  return avg;
+}
+
+std::string FormatSeconds(double seconds) {
+  char buf[64];
+  if (seconds >= 1.0) {
+    std::snprintf(buf, sizeof(buf), "%.3f s", seconds);
+  } else if (seconds >= 1e-3) {
+    std::snprintf(buf, sizeof(buf), "%.3f ms", seconds * 1e3);
+  } else {
+    std::snprintf(buf, sizeof(buf), "%.1f us", seconds * 1e6);
+  }
+  return buf;
+}
+
+std::string FormatImprovement(double factor) {
+  char buf[64];
+  if (!std::isfinite(factor)) return "inf";
+  if (factor >= 1e4) {
+    std::snprintf(buf, sizeof(buf), "%.1ex", factor);
+  } else if (factor >= 10) {
+    std::snprintf(buf, sizeof(buf), "%.0fx", factor);
+  } else {
+    std::snprintf(buf, sizeof(buf), "%.1fx", factor);
+  }
+  return buf;
+}
+
+}  // namespace incshrink

@@ -1,0 +1,44 @@
+#pragma once
+
+#include <string>
+
+#include "src/core/engine.h"
+#include "src/workload/generators.h"
+
+namespace incshrink {
+
+/// Runs one full deployment of `config` over the generated stream and
+/// returns the aggregated metrics. Aborts on privacy-ledger violations
+/// (which would indicate a bug, not an expected condition).
+RunSummary RunWorkload(const IncShrinkConfig& config,
+                       const GeneratedWorkload& workload);
+
+/// \brief Plain-number aggregates averaged over several protocol seeds.
+///
+/// The DP protocols are randomized; single runs of short streams carry
+/// noticeable noise-realization variance, so the figure benches average a
+/// few seeds (the paper averages over long streams instead).
+struct AveragedRun {
+  double l1_error = 0;
+  double relative_error = 0;
+  double qet_seconds = 0;
+  double transform_seconds = 0;
+  double shrink_seconds = 0;
+  double total_mpc_seconds = 0;
+  double total_query_seconds = 0;
+  double view_mb = 0;
+  double updates = 0;
+};
+
+AveragedRun RunWorkloadAveraged(const IncShrinkConfig& config,
+                                const GeneratedWorkload& workload,
+                                int num_seeds);
+
+/// Convenience: formats seconds with an adaptive unit (s / ms / us).
+std::string FormatSeconds(double seconds);
+
+/// Formats an improvement factor like the paper's "Imp." rows ("1366x",
+/// "1.5e+5x"); returns "1x" for the baseline itself.
+std::string FormatImprovement(double factor);
+
+}  // namespace incshrink

@@ -1,0 +1,252 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "src/common/fixed_point.h"
+#include "src/common/result.h"
+#include "src/common/rng.h"
+#include "src/common/stats.h"
+#include "src/common/status.h"
+
+namespace incshrink {
+namespace {
+
+// ---------------------------------------------------------------------------
+// Status / Result
+// ---------------------------------------------------------------------------
+
+TEST(StatusTest, DefaultIsOk) {
+  Status s;
+  EXPECT_TRUE(s.ok());
+  EXPECT_EQ(s.code(), StatusCode::kOk);
+  EXPECT_EQ(s.ToString(), "OK");
+}
+
+TEST(StatusTest, ErrorCarriesCodeAndMessage) {
+  Status s = Status::InvalidArgument("bad omega");
+  EXPECT_FALSE(s.ok());
+  EXPECT_EQ(s.code(), StatusCode::kInvalidArgument);
+  EXPECT_EQ(s.message(), "bad omega");
+  EXPECT_EQ(s.ToString(), "InvalidArgument: bad omega");
+}
+
+TEST(StatusTest, AllFactoriesProduceMatchingCodes) {
+  EXPECT_EQ(Status::OutOfRange("x").code(), StatusCode::kOutOfRange);
+  EXPECT_EQ(Status::NotFound("x").code(), StatusCode::kNotFound);
+  EXPECT_EQ(Status::AlreadyExists("x").code(), StatusCode::kAlreadyExists);
+  EXPECT_EQ(Status::FailedPrecondition("x").code(),
+            StatusCode::kFailedPrecondition);
+  EXPECT_EQ(Status::Internal("x").code(), StatusCode::kInternal);
+  EXPECT_EQ(Status::Unimplemented("x").code(), StatusCode::kUnimplemented);
+  EXPECT_EQ(Status::PrivacyBudgetExhausted("x").code(),
+            StatusCode::kPrivacyBudgetExhausted);
+}
+
+Status FailIfNegative(int x) {
+  if (x < 0) return Status::InvalidArgument("negative");
+  return Status::OK();
+}
+
+Status Propagates(int x) {
+  INCSHRINK_RETURN_NOT_OK(FailIfNegative(x));
+  return Status::OK();
+}
+
+TEST(StatusTest, ReturnNotOkMacroPropagates) {
+  EXPECT_TRUE(Propagates(1).ok());
+  EXPECT_EQ(Propagates(-1).code(), StatusCode::kInvalidArgument);
+}
+
+TEST(ResultTest, HoldsValue) {
+  Result<int> r = 42;
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(*r, 42);
+  EXPECT_EQ(r.value_or(7), 42);
+  EXPECT_TRUE(r.status().ok());
+}
+
+TEST(ResultTest, HoldsError) {
+  Result<int> r = Status::NotFound("nope");
+  EXPECT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kNotFound);
+  EXPECT_EQ(r.value_or(7), 7);
+}
+
+Result<int> HalfOf(int x) {
+  if (x % 2 != 0) return Status::InvalidArgument("odd");
+  return x / 2;
+}
+
+Status UseAssignOrReturn(int x, int* out) {
+  INCSHRINK_ASSIGN_OR_RETURN(*out, HalfOf(x));
+  return Status::OK();
+}
+
+TEST(ResultTest, AssignOrReturnMacro) {
+  int out = 0;
+  EXPECT_TRUE(UseAssignOrReturn(10, &out).ok());
+  EXPECT_EQ(out, 5);
+  EXPECT_FALSE(UseAssignOrReturn(9, &out).ok());
+}
+
+// ---------------------------------------------------------------------------
+// Rng
+// ---------------------------------------------------------------------------
+
+TEST(RngTest, DeterministicBySeed) {
+  Rng a(123), b(123), c(124);
+  EXPECT_EQ(a.Next64(), b.Next64());
+  EXPECT_NE(a.Next64(), c.Next64());
+}
+
+TEST(RngTest, UniformStaysInBound) {
+  Rng rng(1);
+  for (int i = 0; i < 10000; ++i) {
+    EXPECT_LT(rng.Uniform(17), 17u);
+  }
+}
+
+TEST(RngTest, NextDoubleInUnitInterval) {
+  Rng rng(2);
+  for (int i = 0; i < 10000; ++i) {
+    const double x = rng.NextDouble();
+    EXPECT_GE(x, 0.0);
+    EXPECT_LT(x, 1.0);
+    const double y = rng.NextDoubleOpen();
+    EXPECT_GT(y, 0.0);
+    EXPECT_LT(y, 1.0);
+  }
+}
+
+TEST(RngTest, UniformMeanMatches) {
+  Rng rng(3);
+  RunningStat stat;
+  for (int i = 0; i < 100000; ++i) stat.Add(rng.NextDouble());
+  EXPECT_NEAR(stat.mean(), 0.5, 0.01);
+  EXPECT_NEAR(stat.variance(), 1.0 / 12.0, 0.01);
+}
+
+TEST(RngTest, LaplaceMeanAndVariance) {
+  Rng rng(4);
+  const double scale = 3.0;
+  RunningStat stat;
+  for (int i = 0; i < 200000; ++i) stat.Add(rng.Laplace(scale));
+  EXPECT_NEAR(stat.mean(), 0.0, 0.1);
+  // Var[Lap(b)] = 2 b^2 = 18.
+  EXPECT_NEAR(stat.variance(), 18.0, 1.5);
+}
+
+TEST(RngTest, ExponentialMean) {
+  Rng rng(5);
+  RunningStat stat;
+  for (int i = 0; i < 100000; ++i) stat.Add(rng.Exponential(2.5));
+  EXPECT_NEAR(stat.mean(), 2.5, 0.1);
+}
+
+class RngPoissonTest : public ::testing::TestWithParam<double> {};
+
+TEST_P(RngPoissonTest, MeanAndVarianceMatch) {
+  const double mean = GetParam();
+  Rng rng(static_cast<uint64_t>(mean * 1000) + 11);
+  RunningStat stat;
+  for (int i = 0; i < 50000; ++i)
+    stat.Add(static_cast<double>(rng.Poisson(mean)));
+  EXPECT_NEAR(stat.mean(), mean, std::max(0.1, mean * 0.05));
+  EXPECT_NEAR(stat.variance(), mean, std::max(0.3, mean * 0.1));
+}
+
+INSTANTIATE_TEST_SUITE_P(Means, RngPoissonTest,
+                         ::testing::Values(0.5, 1.4, 2.7, 6.0, 9.8, 40.0,
+                                           100.0));
+
+TEST(RngTest, NormalMoments) {
+  Rng rng(6);
+  RunningStat stat;
+  for (int i = 0; i < 100000; ++i) stat.Add(rng.Normal(10.0, 2.0));
+  EXPECT_NEAR(stat.mean(), 10.0, 0.05);
+  EXPECT_NEAR(stat.stddev(), 2.0, 0.05);
+}
+
+// ---------------------------------------------------------------------------
+// Fixed point
+// ---------------------------------------------------------------------------
+
+TEST(FixedPointTest, OpenUnitNeverHitsEndpoints) {
+  EXPECT_GT(FixedPointOpenUnit(0), 0.0);
+  EXPECT_LT(FixedPointOpenUnit(0x7FFFFFFFu), 1.0);
+  EXPECT_LT(FixedPointOpenUnit(0xFFFFFFFFu), 1.0);  // msb ignored
+}
+
+TEST(FixedPointTest, MsbControlsSign) {
+  EXPECT_EQ(SignFromMsb(0x80000000u), 1.0);
+  EXPECT_EQ(SignFromMsb(0x7FFFFFFFu), -1.0);
+}
+
+TEST(FixedPointTest, OpenUnitIsUniform) {
+  Rng rng(7);
+  RunningStat stat;
+  for (int i = 0; i < 100000; ++i)
+    stat.Add(FixedPointOpenUnit(rng.Next32()));
+  EXPECT_NEAR(stat.mean(), 0.5, 0.01);
+}
+
+TEST(FixedPointTest, SaturatingToRing) {
+  EXPECT_EQ(SaturatingToRing(-1.0), 0u);
+  EXPECT_EQ(SaturatingToRing(0.4), 0u);
+  EXPECT_EQ(SaturatingToRing(0.6), 1u);
+  EXPECT_EQ(SaturatingToRing(1e20), 0xFFFFFFFFu);
+}
+
+// ---------------------------------------------------------------------------
+// Stats
+// ---------------------------------------------------------------------------
+
+TEST(RunningStatTest, BasicMoments) {
+  RunningStat s;
+  for (double x : {1.0, 2.0, 3.0, 4.0, 5.0}) s.Add(x);
+  EXPECT_EQ(s.count(), 5u);
+  EXPECT_DOUBLE_EQ(s.mean(), 3.0);
+  EXPECT_DOUBLE_EQ(s.variance(), 2.5);
+  EXPECT_DOUBLE_EQ(s.min(), 1.0);
+  EXPECT_DOUBLE_EQ(s.max(), 5.0);
+  EXPECT_DOUBLE_EQ(s.sum(), 15.0);
+}
+
+TEST(SampleSetTest, Quantiles) {
+  SampleSet s;
+  for (int i = 100; i >= 1; --i) s.Add(static_cast<double>(i));
+  EXPECT_DOUBLE_EQ(s.Quantile(0.0), 1.0);
+  EXPECT_DOUBLE_EQ(s.Quantile(1.0), 100.0);
+  EXPECT_NEAR(s.Quantile(0.5), 50.5, 1e-9);
+}
+
+TEST(SampleSetTest, EmpiricalCdf) {
+  SampleSet s;
+  for (int i = 1; i <= 10; ++i) s.Add(static_cast<double>(i));
+  EXPECT_DOUBLE_EQ(s.Cdf(0.5), 0.0);
+  EXPECT_DOUBLE_EQ(s.Cdf(5.0), 0.5);
+  EXPECT_DOUBLE_EQ(s.Cdf(10.0), 1.0);
+}
+
+TEST(KsDistanceTest, UniformSamplesAgainstUniformCdf) {
+  Rng rng(8);
+  SampleSet s;
+  for (int i = 0; i < 20000; ++i) s.Add(rng.NextDouble());
+  const double d = KsDistance(s, [](double x) {
+    return std::clamp(x, 0.0, 1.0);
+  });
+  EXPECT_LT(d, 0.02);  // ~1.36/sqrt(n) at 5%
+}
+
+TEST(KsDistanceTest, DetectsWrongDistribution) {
+  Rng rng(9);
+  SampleSet s;
+  for (int i = 0; i < 20000; ++i) s.Add(rng.NextDouble() * 0.5);
+  const double d = KsDistance(s, [](double x) {
+    return std::clamp(x, 0.0, 1.0);
+  });
+  EXPECT_GT(d, 0.3);
+}
+
+}  // namespace
+}  // namespace incshrink

@@ -1,0 +1,294 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "src/common/rng.h"
+#include "src/common/stats.h"
+#include "src/dp/accountant.h"
+#include "src/dp/bounds.h"
+#include "src/dp/laplace.h"
+#include "src/dp/mechanisms.h"
+#include "src/dp/simulator.h"
+#include "src/dp/svt.h"
+
+namespace incshrink {
+namespace {
+
+// ---------------------------------------------------------------------------
+// Laplace utilities
+// ---------------------------------------------------------------------------
+
+TEST(LaplaceTest, CdfEndpoints) {
+  EXPECT_DOUBLE_EQ(LaplaceCdf(0.0, 1.0), 0.5);
+  EXPECT_NEAR(LaplaceCdf(-50.0, 1.0), 0.0, 1e-12);
+  EXPECT_NEAR(LaplaceCdf(50.0, 1.0), 1.0, 1e-12);
+  EXPECT_GT(LaplaceCdf(1.0, 1.0), LaplaceCdf(0.5, 1.0));
+}
+
+TEST(LaplaceTest, SamplerMatchesCdf) {
+  Rng rng(1);
+  SampleSet samples;
+  for (int i = 0; i < 50000; ++i) samples.Add(SampleLaplace(&rng, 2.0));
+  const double ks =
+      KsDistance(samples, [](double x) { return LaplaceCdf(x, 2.0); });
+  EXPECT_LT(ks, 0.012);
+}
+
+TEST(LaplaceTest, ClampRoundNonNegative) {
+  EXPECT_EQ(ClampRoundNonNegative(-5.0), 0u);
+  EXPECT_EQ(ClampRoundNonNegative(0.4), 0u);
+  EXPECT_EQ(ClampRoundNonNegative(0.6), 1u);
+  EXPECT_EQ(ClampRoundNonNegative(41.5), 42u);
+}
+
+TEST(LaplaceTest, NoisyCountCentersOnValue) {
+  Rng rng(2);
+  RunningStat stat;
+  for (int i = 0; i < 50000; ++i)
+    stat.Add(NoisyNonNegativeCount(100, 3.0, &rng));
+  EXPECT_NEAR(stat.mean(), 100.0, 0.2);
+}
+
+// ---------------------------------------------------------------------------
+// SVT / NANT (Algorithm 5)
+// ---------------------------------------------------------------------------
+
+TEST(SvtTest, FiresWhenCountFarAboveThreshold) {
+  Rng rng(3);
+  NumericAboveNoisyThreshold svt(/*eps=*/2.0, /*sensitivity=*/1.0,
+                                 /*threshold=*/10.0, &rng);
+  double release = 0;
+  // Count 1000 >> theta 10: fires essentially surely.
+  EXPECT_TRUE(svt.Observe(1000.0, &release));
+  EXPECT_NEAR(release, 1000.0, 50.0);
+  EXPECT_EQ(svt.releases(), 1u);
+}
+
+TEST(SvtTest, RarelyFiresFarBelowThreshold) {
+  Rng rng(4);
+  NumericAboveNoisyThreshold svt(2.0, 1.0, 1000.0, &rng);
+  double release = 0;
+  int fires = 0;
+  for (int i = 0; i < 1000; ++i) {
+    if (svt.Observe(0.0, &release)) ++fires;
+  }
+  EXPECT_LT(fires, 10);
+}
+
+TEST(SvtTest, FiringRateTracksThresholdCrossing) {
+  // Feed a ramp; the protocol should fire roughly every `theta` increments.
+  Rng rng(5);
+  const double theta = 50.0;
+  NumericAboveNoisyThreshold svt(4.0, 1.0, theta, &rng);
+  double count = 0;
+  int fires = 0;
+  double release = 0;
+  for (int i = 0; i < 5000; ++i) {
+    count += 1.0;
+    if (svt.Observe(count, &release)) {
+      count = 0;
+      ++fires;
+    }
+  }
+  EXPECT_NEAR(fires, 100, 35);  // ~5000/50 firings
+}
+
+TEST(SvtTest, ThresholdRefreshedAfterFire) {
+  Rng rng(6);
+  NumericAboveNoisyThreshold svt(2.0, 1.0, 100.0, &rng);
+  const double before = svt.noisy_threshold();
+  double release = 0;
+  ASSERT_TRUE(svt.Observe(10000.0, &release));
+  EXPECT_NE(svt.noisy_threshold(), before);
+}
+
+// ---------------------------------------------------------------------------
+// Theorem bounds
+// ---------------------------------------------------------------------------
+
+TEST(BoundsTest, LaplaceSumTailFormula) {
+  // alpha = 2*(delta/eps)*sqrt(k ln(1/beta))
+  const double alpha = LaplaceSumTailBound(10, 1.5, 36, 0.05);
+  EXPECT_NEAR(alpha, 2.0 * 10 / 1.5 * std::sqrt(36 * std::log(20.0)), 1e-9);
+}
+
+TEST(BoundsTest, TimerDeferredBoundShrinksWithEps) {
+  EXPECT_GT(TimerDeferredBound(10, 0.1, 20, 0.05),
+            TimerDeferredBound(10, 1.0, 20, 0.05));
+  EXPECT_GT(TimerDeferredBound(10, 1.0, 80, 0.05),
+            TimerDeferredBound(10, 1.0, 20, 0.05));
+}
+
+TEST(BoundsTest, TimerDummyBoundAddsFlushTerm) {
+  const double without = TimerDeferredBound(10, 1.5, 20, 0.05);
+  const double with = TimerDummyBound(10, 1.5, 20, 0.05, /*T=*/10,
+                                      /*f=*/100, /*s=*/15);
+  EXPECT_NEAR(with - without, 15.0 * (20.0 * 10.0 / 100.0), 1e-9);
+}
+
+TEST(BoundsTest, AntDeferredGrowsLogarithmically) {
+  const double t100 = AntDeferredBound(10, 1.5, 100, 0.05);
+  const double t10000 = AntDeferredBound(10, 1.5, 10000, 0.05);
+  EXPECT_GT(t10000, t100);
+  // log-growth: doubling from 100 -> 10000 multiplies the log term, not the
+  // bound, by a large factor.
+  EXPECT_LT(t10000 / t100, 4.0);
+}
+
+TEST(BoundsTest, MinUpdatesForBound) {
+  EXPECT_EQ(MinUpdatesForBound(0.05), 12u);  // ceil(4 ln 20)
+}
+
+// ---------------------------------------------------------------------------
+// Empirical check of Theorem 4's tail bound
+// ---------------------------------------------------------------------------
+
+class LaplaceSumTailTest : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(LaplaceSumTailTest, SumOfLaplacesStaysBelowAlpha) {
+  const uint64_t k = GetParam();
+  const double b = 10, eps = 1.5, beta = 0.05;
+  const double alpha = LaplaceSumTailBound(b, eps, k, beta);
+  Rng rng(1000 + k);
+  int violations = 0;
+  const int kTrials = 2000;
+  for (int trial = 0; trial < kTrials; ++trial) {
+    double sum = 0;
+    for (uint64_t i = 0; i < k; ++i) sum += SampleLaplace(&rng, b / eps);
+    if (sum >= alpha) ++violations;
+  }
+  // The bound guarantees violation probability <= beta.
+  EXPECT_LE(violations, static_cast<int>(kTrials * beta * 1.5));
+}
+
+INSTANTIATE_TEST_SUITE_P(Ks, LaplaceSumTailTest,
+                         ::testing::Values(12, 16, 36, 100));
+
+// ---------------------------------------------------------------------------
+// Privacy accountant
+// ---------------------------------------------------------------------------
+
+TEST(AccountantTest, BudgetArithmetic) {
+  PrivacyAccountant acc(1.5, /*b=*/10, /*omega=*/1);
+  EXPECT_EQ(acc.RemainingBudget(7), 10u);
+  EXPECT_TRUE(acc.CanParticipate(7));
+  for (int i = 0; i < 10; ++i) {
+    EXPECT_TRUE(acc.ChargeParticipation(7).ok());
+  }
+  EXPECT_EQ(acc.RemainingBudget(7), 0u);
+  EXPECT_FALSE(acc.CanParticipate(7));
+  EXPECT_EQ(acc.ChargeParticipation(7).code(),
+            StatusCode::kPrivacyBudgetExhausted);
+}
+
+TEST(AccountantTest, OmegaChargedPerParticipation) {
+  PrivacyAccountant acc(1.5, /*b=*/20, /*omega=*/10);
+  EXPECT_TRUE(acc.ChargeParticipation(1).ok());
+  EXPECT_EQ(acc.RemainingBudget(1), 10u);
+  EXPECT_TRUE(acc.ChargeParticipation(1).ok());
+  EXPECT_FALSE(acc.CanParticipate(1));
+}
+
+TEST(AccountantTest, ContributionsBoundedByCharges) {
+  PrivacyAccountant acc(1.5, 10, 1);
+  EXPECT_TRUE(acc.ChargeParticipation(5).ok());  // charged 1
+  EXPECT_TRUE(acc.RecordContribution(5, 1).ok());
+  // Contributing more rows than charged is an internal invariant violation.
+  EXPECT_EQ(acc.RecordContribution(5, 1).code(), StatusCode::kInternal);
+}
+
+TEST(AccountantTest, EpsilonReporting) {
+  PrivacyAccountant acc(1.5, 10, 1);
+  EXPECT_DOUBLE_EQ(acc.EventLevelEpsilon(), 1.5);
+  EXPECT_DOUBLE_EQ(acc.UserLevelEpsilon(4), 6.0);
+  EXPECT_DOUBLE_EQ(acc.ReleaseScale(), 10 / 1.5);
+}
+
+// ---------------------------------------------------------------------------
+// Leakage mechanisms (Theorems 7 / 8)
+// ---------------------------------------------------------------------------
+
+TEST(TimerMechanismTest, FiresExactlyEveryT) {
+  Rng rng(9);
+  TimerLeakageMechanism mech(1.5, 10, /*T=*/5, &rng);
+  for (int t = 1; t <= 50; ++t) {
+    const LeakageRelease rel = mech.Step(3);
+    EXPECT_EQ(rel.fired, t % 5 == 0) << t;
+  }
+  EXPECT_EQ(mech.updates(), 10u);
+}
+
+TEST(TimerMechanismTest, ReleaseCentersOnWindowCount) {
+  Rng rng(10);
+  TimerLeakageMechanism mech(/*eps=*/5.0, /*b=*/1, /*T=*/4, &rng);
+  RunningStat stat;
+  for (int t = 1; t <= 40000; ++t) {
+    const LeakageRelease rel = mech.Step(3);  // window count = 12
+    if (rel.fired) stat.Add(rel.size);
+  }
+  EXPECT_NEAR(stat.mean(), 12.0, 0.2);
+}
+
+TEST(AntMechanismTest, FiresWhenAccumulatedCountsCross) {
+  Rng rng(11);
+  AntLeakageMechanism mech(/*eps=*/3.0, /*b=*/1, /*theta=*/30, &rng);
+  uint64_t fires = 0;
+  for (int t = 1; t <= 3000; ++t) {
+    const LeakageRelease rel = mech.Step(3);  // ~ every 10 steps
+    if (rel.fired) ++fires;
+  }
+  EXPECT_NEAR(static_cast<double>(fires), 300.0, 90.0);
+}
+
+TEST(AntMechanismTest, SilentOnEmptyStream) {
+  Rng rng(12);
+  AntLeakageMechanism mech(3.0, 1.0, 1000, &rng);
+  uint64_t fires = 0;
+  for (int t = 1; t <= 1000; ++t) {
+    if (mech.Step(0).fired) ++fires;
+  }
+  EXPECT_LT(fires, 5u);
+}
+
+// ---------------------------------------------------------------------------
+// Table-1 simulator
+// ---------------------------------------------------------------------------
+
+TEST(SimulatorTest, ProducesStructuralEventsFromReleasesOnly) {
+  std::vector<LeakageRelease> releases = {
+      {1, 0, false}, {2, 7, true}, {3, 0, false}, {4, 100, true}};
+  SimulatorPublicParams pp;
+  pp.upload_rows = [](uint64_t) { return 16; };
+  pp.transform_rows = [](uint64_t) { return 20; };
+  pp.flush_interval = 3;
+  pp.flush_size = 5;
+  const Transcript tr = SimulateTranscript(releases, pp);
+
+  // t=1: upload, transform. t=2: upload, transform, sync(7).
+  // t=3: upload, transform, flush(5 then cache reset).
+  // t=4: upload, transform, sync clamped to cache (20).
+  ASSERT_EQ(tr.size(), 11u);
+  EXPECT_EQ(tr[0], (TranscriptEvent{TranscriptEvent::Kind::kUpload, 1, 16}));
+  EXPECT_EQ(tr[1],
+            (TranscriptEvent{TranscriptEvent::Kind::kTransformOut, 1, 20}));
+  EXPECT_EQ(tr[4], (TranscriptEvent{TranscriptEvent::Kind::kSync, 2, 7}));
+  EXPECT_EQ(tr[7], (TranscriptEvent{TranscriptEvent::Kind::kFlush, 3, 5}));
+  // After the flush the public cache is empty; at t=4 it holds only the new
+  // transform output (20 rows), so the sync of v=100 clamps to 20.
+  EXPECT_EQ(tr[10], (TranscriptEvent{TranscriptEvent::Kind::kSync, 4, 20}));
+}
+
+TEST(SimulatorTest, NoFlushWhenDisabled) {
+  std::vector<LeakageRelease> releases = {{1, 0, false}, {2, 0, false}};
+  SimulatorPublicParams pp;
+  pp.upload_rows = [](uint64_t) { return 4; };
+  pp.transform_rows = [](uint64_t) { return 4; };
+  pp.flush_interval = 0;
+  const Transcript tr = SimulateTranscript(releases, pp);
+  for (const auto& e : tr) {
+    EXPECT_NE(e.kind, TranscriptEvent::Kind::kFlush);
+  }
+}
+
+}  // namespace
+}  // namespace incshrink

@@ -1,0 +1,224 @@
+#include <gtest/gtest.h>
+
+#include "src/core/engine.h"
+#include "src/dp/bounds.h"
+#include "src/mpc/party.h"
+#include "src/oblivious/filter.h"
+#include "src/oblivious/join.h"
+#include "src/relational/encode.h"
+#include "src/storage/serialization.h"
+#include "src/workload/generators.h"
+
+namespace incshrink {
+namespace {
+
+// ---------------------------------------------------------------------------
+// Share-blob serialization (server restart / snapshot support)
+// ---------------------------------------------------------------------------
+
+TEST(SerializationTest, RoundTripBothServers) {
+  Rng rng(1);
+  SharedRows rows(3);
+  for (int i = 0; i < 50; ++i) {
+    rows.AppendSecretRow({rng.Next32(), rng.Next32(), rng.Next32()}, &rng);
+  }
+  const auto blob0 = SerializeShares(rows, 0);
+  const auto blob1 = SerializeShares(rows, 1);
+  const auto restored = CombineShareBlobs(blob0, blob1);
+  ASSERT_TRUE(restored.ok());
+  ASSERT_EQ(restored->size(), rows.size());
+  ASSERT_EQ(restored->width(), rows.width());
+  for (size_t r = 0; r < rows.size(); ++r) {
+    EXPECT_EQ(restored->RecoverRow(r), rows.RecoverRow(r));
+  }
+}
+
+TEST(SerializationTest, EmptyTable) {
+  SharedRows rows(5);
+  const auto restored =
+      CombineShareBlobs(SerializeShares(rows, 0), SerializeShares(rows, 1));
+  ASSERT_TRUE(restored.ok());
+  EXPECT_EQ(restored->size(), 0u);
+  EXPECT_EQ(restored->width(), 5u);
+}
+
+TEST(SerializationTest, RejectsCorruptBlobs) {
+  Rng rng(2);
+  SharedRows rows(2);
+  rows.AppendSecretRow({1, 2}, &rng);
+  auto blob = SerializeShares(rows, 0);
+
+  std::vector<uint8_t> bad_magic = blob;
+  bad_magic[0] = 'X';
+  EXPECT_FALSE(ParseShareBlob(bad_magic).ok());
+
+  std::vector<uint8_t> truncated(blob.begin(), blob.end() - 3);
+  EXPECT_FALSE(ParseShareBlob(truncated).ok());
+
+  EXPECT_FALSE(ParseShareBlob({1, 2, 3}).ok());
+}
+
+TEST(SerializationTest, RejectsMismatchedDimensions) {
+  Rng rng(3);
+  SharedRows a(2), b(3);
+  a.AppendSecretRow({1, 2}, &rng);
+  b.AppendSecretRow({1, 2, 3}, &rng);
+  EXPECT_FALSE(
+      CombineShareBlobs(SerializeShares(a, 0), SerializeShares(b, 1)).ok());
+}
+
+TEST(SerializationTest, SingleBlobLooksUniform) {
+  // One server's snapshot alone must be statistically uniform even for
+  // all-zero plaintext (confidentiality at rest).
+  Rng rng(4);
+  SharedRows rows(1);
+  for (int i = 0; i < 20000; ++i) rows.AppendSecretRow({0}, &rng);
+  const auto parsed = ParseShareBlob(SerializeShares(rows, 1));
+  ASSERT_TRUE(parsed.ok());
+  int64_t bits = 0;
+  for (Word w : parsed->words) bits += __builtin_popcount(w);
+  EXPECT_NEAR(static_cast<double>(bits) / parsed->words.size(), 16.0, 0.15);
+}
+
+// ---------------------------------------------------------------------------
+// Banded windows (window_lo > 0) — supported but otherwise unexercised
+// ---------------------------------------------------------------------------
+
+TEST(BandedWindowTest, JoinRespectsLowerBound) {
+  Party s0(0, 5), s1(1, 6);
+  Protocol2PC proto(&s0, &s1, CostModel::Free());
+  Rng rng(7);
+  SharedRows t1(kSrcWidth), t2(kSrcWidth);
+  t1.AppendSecretRow(EncodeSourceRow({1, 1, 9, 100, 0}), &rng);
+  // Deltas: 2 (below band), 5 (inside), 9 (above).
+  t2.AppendSecretRow(EncodeSourceRow({1, 2, 9, 102, 0}), &rng);
+  t2.AppendSecretRow(EncodeSourceRow({1, 3, 9, 105, 0}), &rng);
+  t2.AppendSecretRow(EncodeSourceRow({1, 4, 9, 109, 0}), &rng);
+  JoinSpec spec{3, 7, true, 5, true, true};  // band [3, 7]
+  uint32_t seq = 0;
+  const JoinResult r = TruncatedSortMergeJoin(&proto, t1, t2, spec, &seq);
+  EXPECT_EQ(r.real_count, 1u);
+  // The surviving pair is the delta-5 one.
+  bool found = false;
+  for (size_t i = 0; i < r.rows.size(); ++i) {
+    if (r.rows.RecoverAt(i, kViewIsViewCol) & 1) {
+      EXPECT_EQ(r.rows.RecoverAt(i, kViewDate2Col), 105u);
+      found = true;
+    }
+  }
+  EXPECT_TRUE(found);
+}
+
+TEST(BandedWindowTest, NoWindowJoinsEverything) {
+  Party s0(0, 8), s1(1, 9);
+  Protocol2PC proto(&s0, &s1, CostModel::Free());
+  Rng rng(10);
+  SharedRows t1(kSrcWidth), t2(kSrcWidth);
+  t1.AppendSecretRow(EncodeSourceRow({1, 1, 9, 1, 0}), &rng);
+  t2.AppendSecretRow(EncodeSourceRow({1, 2, 9, 4000000000u, 0}), &rng);
+  JoinSpec spec{0, 10, /*use_window=*/false, 1, true, true};
+  uint32_t seq = 0;
+  EXPECT_EQ(TruncatedSortMergeJoin(&proto, t1, t2, spec, &seq).real_count,
+            1u);
+}
+
+// ---------------------------------------------------------------------------
+// Oblivious selection trace invariance
+// ---------------------------------------------------------------------------
+
+TEST(SelectObliviousnessTest, TraceIndependentOfSelectivity) {
+  CircuitStats traces[2];
+  for (int variant = 0; variant < 2; ++variant) {
+    Party s0(0, 1), s1(1, 2);
+    Protocol2PC proto(&s0, &s1, CostModel::EmpLikeLan());
+    Rng rng(11);
+    SharedRows rows(2);
+    for (Word i = 0; i < 64; ++i) {
+      // Variant 0: everything passes; variant 1: nothing passes.
+      rows.AppendSecretRow({1, variant == 0 ? 5u : 500u}, &rng);
+    }
+    const CircuitStats before = proto.Snapshot();
+    ObliviousSelect(&proto, &rows, 0,
+                    ObliviousPredicate::ColumnLess(1, 100));
+    traces[variant] = proto.StatsSince(before);
+  }
+  EXPECT_EQ(traces[0].and_gates, traces[1].and_gates);
+  EXPECT_EQ(traces[0].bytes, traces[1].bytes);
+}
+
+// ---------------------------------------------------------------------------
+// Degenerate engine inputs
+// ---------------------------------------------------------------------------
+
+TEST(DegenerateInputTest, EmptyStreamRunsCleanly) {
+  IncShrinkConfig cfg = DefaultTpcDsConfig();
+  cfg.strategy = Strategy::kDpTimer;
+  Engine engine(cfg);
+  for (int t = 0; t < 30; ++t) {
+    ASSERT_TRUE(engine.Step({}, {}).ok());
+  }
+  const RunSummary s = engine.Summary();
+  EXPECT_EQ(s.final_true_count, 0u);
+  // Noise can still pull dummies into the view, but answers stay 0.
+  for (const StepMetrics& m : engine.step_metrics()) {
+    EXPECT_EQ(m.view_answer, 0u);
+  }
+}
+
+TEST(DegenerateInputTest, SingleStepRun) {
+  IncShrinkConfig cfg = DefaultTpcDsConfig();
+  cfg.strategy = Strategy::kEp;
+  Engine engine(cfg);
+  ASSERT_TRUE(
+      engine.Step({{1, 1, 7, 1, 0}}, {{1, 2, 7, 2, 0}}).ok());
+  EXPECT_EQ(engine.step_metrics().back().true_count, 1u);
+  EXPECT_EQ(engine.step_metrics().back().view_answer, 1u);
+}
+
+TEST(DegenerateInputTest, TimerLongerThanRunNeverFires) {
+  IncShrinkConfig cfg = DefaultTpcDsConfig();
+  cfg.strategy = Strategy::kDpTimer;
+  cfg.timer_T = 1000;
+  cfg.flush_interval = 0;
+  TpcDsParams p;
+  p.steps = 20;
+  const GeneratedWorkload w = GenerateTpcDs(p);
+  Engine engine(cfg);
+  ASSERT_TRUE(engine.Run(w.t1, w.t2).ok());
+  EXPECT_EQ(engine.Summary().updates, 0u);
+  EXPECT_EQ(engine.view().size(), 0u);
+}
+
+TEST(DegenerateInputTest, ZeroEpsRejected) {
+  IncShrinkConfig cfg = DefaultTpcDsConfig();
+  cfg.eps = 0;
+  EXPECT_FALSE(cfg.Validate().ok());
+}
+
+// ---------------------------------------------------------------------------
+// ANT deferred data against the Theorem-6 bound
+// ---------------------------------------------------------------------------
+
+TEST(TheoremSixTest, AntDeferredDataUnderBound) {
+  IncShrinkConfig cfg = DefaultTpcDsConfig();
+  cfg.strategy = Strategy::kDpAnt;
+  cfg.flush_interval = 0;
+  TpcDsParams p;
+  p.steps = 200;
+  const GeneratedWorkload w = GenerateTpcDs(p);
+  Engine engine(cfg);
+  ASSERT_TRUE(engine.Run(w.t1, w.t2).ok());
+
+  Party probe0(0, 1), probe1(1, 2);
+  Protocol2PC probe(&probe0, &probe1, CostModel::Free());
+  uint32_t deferred = 0;
+  for (size_t r = 0; r < engine.cache().rows().size(); ++r) {
+    deferred += engine.cache().rows().RecoverAt(r, 0) & 1;
+  }
+  const double bound =
+      AntDeferredBound(cfg.budget_b, cfg.eps, p.steps, 0.05);
+  EXPECT_LT(static_cast<double>(deferred), bound);
+}
+
+}  // namespace
+}  // namespace incshrink

@@ -1,0 +1,176 @@
+#include <gtest/gtest.h>
+
+#include "src/core/engine.h"
+#include "src/dp/bounds.h"
+#include "src/dp/simulator.h"
+#include "src/workload/generators.h"
+
+namespace incshrink {
+namespace {
+
+struct DatasetCase {
+  const char* name;
+  bool cpdb;
+};
+
+class EndToEndTest
+    : public ::testing::TestWithParam<std::tuple<bool, Strategy>> {};
+
+/// Builds a scaled-down dataset + config pair for fast end-to-end runs.
+void MakeCase(bool cpdb, Strategy strategy, IncShrinkConfig* cfg,
+              GeneratedWorkload* w) {
+  if (cpdb) {
+    CpdbParams p;
+    p.steps = 72;
+    *w = GenerateCpdb(p);
+    *cfg = DefaultCpdbConfig();
+    cfg->flush_interval = 24;
+  } else {
+    TpcDsParams p;
+    p.steps = 120;
+    *w = GenerateTpcDs(p);
+    *cfg = DefaultTpcDsConfig();
+    cfg->flush_interval = 40;
+  }
+  cfg->strategy = strategy;
+}
+
+TEST_P(EndToEndTest, RunsAndTracksTruth) {
+  const auto [cpdb, strategy] = GetParam();
+  IncShrinkConfig cfg;
+  GeneratedWorkload w;
+  MakeCase(cpdb, strategy, &cfg, &w);
+  Engine engine(cfg);
+  const Status st = engine.Run(w.t1, w.t2);
+  ASSERT_TRUE(st.ok()) << st.ToString();
+  const RunSummary s = engine.Summary();
+  EXPECT_EQ(s.steps, w.steps());
+  EXPECT_GT(s.final_true_count, 0u);
+
+  if (strategy == Strategy::kDpTimer || strategy == Strategy::kDpAnt) {
+    EXPECT_GT(s.updates, 2u);
+    // Bounded error: well below the OTM error (which equals the full truth).
+    EXPECT_LT(s.l1_error.mean(),
+              0.6 * static_cast<double>(s.final_true_count));
+  }
+  if (strategy == Strategy::kEp || strategy == Strategy::kNm) {
+    // Transformation loss is the only error source for EP; the synthetic
+    // streams are loss-free by construction (delays within eligibility,
+    // multiplicity within omega), so both are exact.
+    EXPECT_LT(s.l1_error.mean(), 3.0);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Cases, EndToEndTest,
+    ::testing::Combine(::testing::Bool(),
+                       ::testing::Values(Strategy::kDpTimer, Strategy::kDpAnt,
+                                         Strategy::kEp, Strategy::kNm,
+                                         Strategy::kOtm)));
+
+// ---------------------------------------------------------------------------
+// SIM-CDP structural indistinguishability (Theorems 7/8, Table 1)
+// ---------------------------------------------------------------------------
+
+class SimCdpTest : public ::testing::TestWithParam<std::tuple<bool, bool>> {};
+
+TEST_P(SimCdpTest, SimulatorReproducesRealTranscript) {
+  const auto [cpdb, use_ant] = GetParam();
+  IncShrinkConfig cfg;
+  GeneratedWorkload w;
+  MakeCase(cpdb, use_ant ? Strategy::kDpAnt : Strategy::kDpTimer, &cfg, &w);
+  Engine engine(cfg);
+  ASSERT_TRUE(engine.Run(w.t1, w.t2).ok());
+
+  // The simulator sees ONLY the DP releases {(t, v_t)} plus public
+  // parameters — never the data. It must reproduce the exact sequence of
+  // observable events (kind, time, size) of the real execution.
+  const Transcript simulated =
+      SimulateTranscript(engine.releases(), engine.MakeSimulatorParams());
+  const Transcript& real = engine.transcript();
+  ASSERT_EQ(simulated.size(), real.size());
+  for (size_t i = 0; i < real.size(); ++i) {
+    EXPECT_EQ(simulated[i].kind, real[i].kind)
+        << i << " " << TranscriptKindName(real[i].kind);
+    EXPECT_EQ(simulated[i].t, real[i].t) << i;
+    EXPECT_EQ(simulated[i].rows, real[i].rows)
+        << i << " " << TranscriptKindName(real[i].kind);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Cases, SimCdpTest,
+                         ::testing::Combine(::testing::Bool(),
+                                            ::testing::Bool()));
+
+// ---------------------------------------------------------------------------
+// Theorem 4: deferred data stays under the tail bound
+// ---------------------------------------------------------------------------
+
+TEST(TheoremBoundsIntegrationTest, TimerDeferredDataBounded) {
+  TpcDsParams p;
+  p.steps = 200;
+  const GeneratedWorkload w = GenerateTpcDs(p);
+  IncShrinkConfig cfg = DefaultTpcDsConfig();
+  cfg.strategy = Strategy::kDpTimer;
+  cfg.flush_interval = 0;  // isolate the deferred-data process
+  Engine engine(cfg);
+  ASSERT_TRUE(engine.Run(w.t1, w.t2).ok());
+
+  // Count deferred (real) entries left in the cache at the end and compare
+  // with the Theorem-4 bound for k updates at beta = 0.05.
+  const uint64_t k = engine.Summary().updates;
+  ASSERT_GE(k, MinUpdatesForBound(0.05));
+  Party s0(0, 1), s1(1, 2);
+  Protocol2PC probe(&s0, &s1, CostModel::Free());
+  uint32_t deferred = 0;
+  for (size_t r = 0; r < engine.cache().rows().size(); ++r) {
+    deferred += engine.cache().rows().RecoverAt(r, 0) & 1;
+  }
+  // Subtract entries cached since the last update (c*, not "deferred").
+  const double alpha = TimerDeferredBound(cfg.budget_b, cfg.eps, k, 0.05);
+  EXPECT_LT(static_cast<double>(deferred),
+            alpha + 3.0 * cfg.timer_T);  // c* slack: ~2.7/step * T
+}
+
+// ---------------------------------------------------------------------------
+// Privacy ledger: full runs never violate the b-stability invariant
+// ---------------------------------------------------------------------------
+
+TEST(PrivacyLedgerIntegrationTest, RunsWithinBudgets) {
+  TpcDsParams p;
+  p.steps = 150;
+  const GeneratedWorkload w = GenerateTpcDs(p);
+  IncShrinkConfig cfg = DefaultTpcDsConfig();
+  cfg.strategy = Strategy::kDpTimer;
+  Engine engine(cfg);
+  // Any ChargeParticipation overflow would surface as a non-OK status.
+  ASSERT_TRUE(engine.Run(w.t1, w.t2).ok());
+  EXPECT_GT(engine.accountant().tracked_records(), 100u);
+  EXPECT_DOUBLE_EQ(engine.accountant().EventLevelEpsilon(), cfg.eps);
+}
+
+// ---------------------------------------------------------------------------
+// Determinism: identical seeds reproduce runs exactly
+// ---------------------------------------------------------------------------
+
+TEST(DeterminismTest, SameSeedSameResults) {
+  TpcDsParams p;
+  p.steps = 60;
+  const GeneratedWorkload w = GenerateTpcDs(p);
+  IncShrinkConfig cfg = DefaultTpcDsConfig();
+  cfg.strategy = Strategy::kDpAnt;
+
+  Engine a(cfg), b(cfg);
+  ASSERT_TRUE(a.Run(w.t1, w.t2).ok());
+  ASSERT_TRUE(b.Run(w.t1, w.t2).ok());
+  ASSERT_EQ(a.step_metrics().size(), b.step_metrics().size());
+  for (size_t i = 0; i < a.step_metrics().size(); ++i) {
+    EXPECT_EQ(a.step_metrics()[i].view_answer,
+              b.step_metrics()[i].view_answer);
+    EXPECT_EQ(a.step_metrics()[i].sync_rows, b.step_metrics()[i].sync_rows);
+  }
+  EXPECT_EQ(a.transcript(), b.transcript());
+}
+
+}  // namespace
+}  // namespace incshrink

@@ -1,0 +1,362 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <map>
+
+#include "src/core/engine.h"
+#include "src/core/transform.h"
+#include "src/mpc/party.h"
+#include "src/oblivious/cache_ops.h"
+#include "src/oblivious/formats.h"
+#include "src/oblivious/join.h"
+#include "src/oblivious/sort.h"
+#include "src/relational/encode.h"
+#include "src/workload/generators.h"
+
+namespace incshrink {
+namespace {
+
+// ---------------------------------------------------------------------------
+// Oblivious sort properties
+// ---------------------------------------------------------------------------
+
+class SortPropertyTest
+    : public ::testing::TestWithParam<std::tuple<size_t, size_t>> {};
+
+TEST_P(SortPropertyTest, PreservesMultisetAndOrders) {
+  const auto [n, width] = GetParam();
+  Party s0(0, n * 31 + width), s1(1, n * 37 + width);
+  Protocol2PC proto(&s0, &s1, CostModel::Free());
+  Rng rng(n + width * 1000);
+
+  SharedRows rows(width);
+  std::multiset<Word> keys;
+  std::map<Word, std::multiset<Word>> row_payloads;
+  for (size_t i = 0; i < n; ++i) {
+    std::vector<Word> row(width);
+    row[0] = rng.Next32() % 50;  // many duplicates
+    for (size_t c = 1; c < width; ++c) row[c] = rng.Next32();
+    keys.insert(row[0]);
+    if (width > 1) row_payloads[row[0]].insert(row[1]);
+    rows.AppendSecretRow(row, &rng);
+  }
+  ObliviousSort(&proto, &rows, 0, true);
+
+  // Sorted order + exact key multiset preserved.
+  std::multiset<Word> after;
+  Word prev = 0;
+  for (size_t i = 0; i < n; ++i) {
+    const Word k = rows.RecoverAt(i, 0);
+    if (i > 0) {
+      EXPECT_GE(k, prev);
+    }
+    prev = k;
+    after.insert(k);
+  }
+  EXPECT_EQ(after, keys);
+
+  // Rows moved as units: payloads still travel with their keys.
+  if (width > 1) {
+    std::map<Word, std::multiset<Word>> after_payloads;
+    for (size_t i = 0; i < n; ++i) {
+      after_payloads[rows.RecoverAt(i, 0)].insert(rows.RecoverAt(i, 1));
+    }
+    EXPECT_EQ(after_payloads, row_payloads);
+  }
+}
+
+TEST_P(SortPropertyTest, Idempotent) {
+  const auto [n, width] = GetParam();
+  Party s0(0, 1), s1(1, 2);
+  Protocol2PC proto(&s0, &s1, CostModel::Free());
+  Rng rng(n * 7 + width);
+  SharedRows rows(width);
+  for (size_t i = 0; i < n; ++i) {
+    std::vector<Word> row(width);
+    for (size_t c = 0; c < width; ++c) row[c] = rng.Next32() % 100;
+    rows.AppendSecretRow(row, &rng);
+  }
+  ObliviousSort(&proto, &rows, 0, true);
+  std::vector<Word> once;
+  for (size_t i = 0; i < n; ++i) once.push_back(rows.RecoverAt(i, 0));
+  ObliviousSort(&proto, &rows, 0, true);
+  for (size_t i = 0; i < n; ++i) EXPECT_EQ(rows.RecoverAt(i, 0), once[i]);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Shapes, SortPropertyTest,
+    ::testing::Combine(::testing::Values(0, 1, 13, 64, 200),
+                       ::testing::Values(1, 2, 7)));
+
+// ---------------------------------------------------------------------------
+// Cache read/flush conservation
+// ---------------------------------------------------------------------------
+
+class CacheConservationTest : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(CacheConservationTest, ReadsConserveRealRows) {
+  const uint64_t seed = GetParam();
+  Party s0(0, seed), s1(1, seed + 1);
+  Protocol2PC proto(&s0, &s1, CostModel::Free());
+  Rng rng(seed + 2);
+
+  SharedRows cache(kViewWidth);
+  uint32_t seq = 0;
+  uint32_t total_real = 0;
+  for (int i = 0; i < 120; ++i) {
+    const bool real = rng.Bernoulli(0.35);
+    std::vector<Word> row(kViewWidth, 0);
+    row[kViewIsViewCol] = real;
+    row[kViewSortKeyCol] = MakeCacheSortKey(real, seq++);
+    cache.AppendSecretRow(row, &rng);
+    total_real += real;
+  }
+
+  // Repeated random-size reads never create or destroy real rows.
+  uint32_t fetched_real = 0;
+  while (cache.size() > 0) {
+    const size_t read = 1 + rng.Uniform(30);
+    SharedRows out = ObliviousCacheRead(&proto, &cache, read);
+    fetched_real += CountRealInside(&proto, out);
+    // FIFO: within this batch all real rows precede all dummies.
+    bool seen_dummy = false;
+    for (size_t r = 0; r < out.size(); ++r) {
+      const bool real = out.RecoverAt(r, kViewIsViewCol) & 1;
+      if (!real) seen_dummy = true;
+      EXPECT_FALSE(real && seen_dummy) << "real row after dummy";
+    }
+  }
+  EXPECT_EQ(fetched_real, total_real);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, CacheConservationTest,
+                         ::testing::Values(3, 5, 8, 13, 21));
+
+// ---------------------------------------------------------------------------
+// Truncated join properties
+// ---------------------------------------------------------------------------
+
+class JoinPropertyTest
+    : public ::testing::TestWithParam<std::tuple<size_t, size_t, uint32_t>> {
+};
+
+TEST_P(JoinPropertyTest, OutputSizeAndCountBounds) {
+  const auto [n1, n2, omega] = GetParam();
+  Party s0(0, n1 + 1), s1(1, n2 + 2);
+  Protocol2PC proto(&s0, &s1, CostModel::Free());
+  Rng rng(n1 * 100 + n2 * 10 + omega);
+
+  SharedRows t1(kSrcWidth), t2(kSrcWidth);
+  Word rid = 1;
+  for (size_t i = 0; i < n1; ++i) {
+    LogicalRecord r{1, rid++, 1 + static_cast<Word>(rng.Uniform(5)),
+                    static_cast<Word>(rng.Uniform(20)), 0};
+    t1.AppendSecretRow(EncodeSourceRow(r), &rng);
+  }
+  for (size_t i = 0; i < n2; ++i) {
+    LogicalRecord r{1, rid++, 1 + static_cast<Word>(rng.Uniform(5)),
+                    static_cast<Word>(rng.Uniform(20)), 0};
+    t2.AppendSecretRow(EncodeSourceRow(r), &rng);
+  }
+
+  JoinSpec spec{0, 10, true, omega, true, true};
+  uint32_t seq = 0;
+  const JoinResult r = TruncatedSortMergeJoin(&proto, t1, t2, spec, &seq);
+
+  // Output size is the public formula, always.
+  EXPECT_EQ(r.rows.size(), omega * (n1 + n2));
+  // Eq. 3: per-record contributions capped by omega -> total real rows are
+  // bounded by omega * min side.
+  EXPECT_LE(r.real_count, omega * std::min(n1, n2));
+  // isView bits agree with the reported count.
+  uint32_t real = 0;
+  for (size_t i = 0; i < r.rows.size(); ++i) {
+    real += r.rows.RecoverAt(i, kViewIsViewCol) & 1;
+  }
+  EXPECT_EQ(real, r.real_count);
+  // The sequence counter advanced exactly once per emitted row.
+  EXPECT_EQ(seq, r.rows.size());
+}
+
+TEST_P(JoinPropertyTest, CountMonotoneInOmega) {
+  const auto [n1, n2, omega] = GetParam();
+  if (omega > 8) return;  // the pair (omega, omega+1) is what we test
+  Rng data_rng(n1 * 7 + n2 * 3);
+  std::vector<LogicalRecord> recs1, recs2;
+  Word rid = 1;
+  for (size_t i = 0; i < n1; ++i)
+    recs1.push_back({1, rid++, 1 + static_cast<Word>(data_rng.Uniform(4)),
+                     static_cast<Word>(data_rng.Uniform(15)), 0});
+  for (size_t i = 0; i < n2; ++i)
+    recs2.push_back({1, rid++, 1 + static_cast<Word>(data_rng.Uniform(4)),
+                     static_cast<Word>(data_rng.Uniform(15)), 0});
+
+  auto run = [&](uint32_t w) {
+    Party s0(0, 1), s1(1, 2);
+    Protocol2PC proto(&s0, &s1, CostModel::Free());
+    Rng rng(99);
+    SharedRows t1(kSrcWidth), t2(kSrcWidth);
+    for (const auto& r : recs1)
+      t1.AppendSecretRow(EncodeSourceRow(r), &rng);
+    for (const auto& r : recs2)
+      t2.AppendSecretRow(EncodeSourceRow(r), &rng);
+    JoinSpec spec{0, 10, true, w, true, true};
+    uint32_t seq = 0;
+    return TruncatedSortMergeJoin(&proto, t1, t2, spec, &seq).real_count;
+  };
+  EXPECT_LE(run(omega), run(omega + 1));
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Shapes, JoinPropertyTest,
+    ::testing::Combine(::testing::Values(0, 1, 5, 20),
+                       ::testing::Values(0, 1, 5, 25),
+                       ::testing::Values(1, 2, 4)));
+
+// ---------------------------------------------------------------------------
+// Transform conservation: counter == real rows in cache
+// ---------------------------------------------------------------------------
+
+TEST(TransformConservationTest, CounterMatchesCacheContents) {
+  IncShrinkConfig cfg = DefaultTpcDsConfig();
+  cfg.strategy = Strategy::kDpTimer;
+  Party s0(0, 4), s1(1, 5);
+  Protocol2PC proto(&s0, &s1, CostModel::Free());
+  PrivacyAccountant acc(cfg.eps, cfg.budget_b, cfg.omega);
+  TransformProtocol transform(&proto, cfg, &acc);
+  OutsourcedTable store1(kSrcWidth), store2(kSrcWidth);
+  SecureCache cache(&proto);
+
+  TpcDsParams p;
+  p.steps = 25;
+  const GeneratedWorkload w = GenerateTpcDs(p);
+  Rng rng(6);
+  for (uint64_t t = 1; t <= p.steps; ++t) {
+    SharedRows b1(kSrcWidth), b2(kSrcWidth);
+    for (const auto& r : w.t1[t - 1])
+      b1.AppendSecretRow(EncodeSourceRow(r), &rng);
+    while (b1.size() < cfg.upload_rows_t1)
+      b1.AppendSecretRow(MakeDummySourceRow(&rng), &rng);
+    for (const auto& r : w.t2[t - 1])
+      b2.AppendSecretRow(EncodeSourceRow(r), &rng);
+    while (b2.size() < cfg.upload_rows_t2)
+      b2.AppendSecretRow(MakeDummySourceRow(&rng), &rng);
+    store1.AppendBatch(std::move(b1));
+    store2.AppendBatch(std::move(b2));
+    ASSERT_TRUE(transform.Step(t, store1, store2, &cache).ok());
+    // Invariant (Alg. 1): c counts exactly the real entries in the cache
+    // (no Shrink ran, so nothing has been removed).
+    EXPECT_EQ(cache.RecoverCounterInside(&proto),
+              CountRealInside(&proto, *cache.rows()))
+        << "step " << t;
+  }
+}
+
+TEST(TransformConservationTest, ExhaustedLedgerSurfacesError) {
+  IncShrinkConfig cfg = DefaultTpcDsConfig();
+  Party s0(0, 7), s1(1, 8);
+  Protocol2PC proto(&s0, &s1, CostModel::Free());
+  PrivacyAccountant acc(cfg.eps, cfg.budget_b, cfg.omega);
+  // Pre-exhaust record 1's budget (simulating a policy violation).
+  for (uint32_t i = 0; i < cfg.budget_b; ++i) {
+    ASSERT_TRUE(acc.ChargeParticipation(1).ok());
+  }
+  TransformProtocol transform(&proto, cfg, &acc);
+  OutsourcedTable store1(kSrcWidth), store2(kSrcWidth);
+  SecureCache cache(&proto);
+  Rng rng(9);
+  SharedRows b1(kSrcWidth), b2(kSrcWidth);
+  b1.AppendSecretRow(EncodeSourceRow({1, 1, 5, 1, 0}), &rng);
+  b2.AppendSecretRow(MakeDummySourceRow(&rng), &rng);
+  store1.AppendBatch(std::move(b1));
+  store2.AppendBatch(std::move(b2));
+  const auto result = transform.Step(1, store1, store2, &cache);
+  ASSERT_FALSE(result.ok());
+  EXPECT_EQ(result.status().code(), StatusCode::kPrivacyBudgetExhausted);
+}
+
+// ---------------------------------------------------------------------------
+// End-to-end conservation: generated = in view + deferred (no flush)
+// ---------------------------------------------------------------------------
+
+class EngineConservationTest : public ::testing::TestWithParam<Strategy> {};
+
+TEST_P(EngineConservationTest, RealRowsNeitherCreatedNorDestroyed) {
+  IncShrinkConfig cfg = DefaultTpcDsConfig();
+  cfg.strategy = GetParam();
+  cfg.flush_interval = 0;  // flushing is the only lossy operation
+  TpcDsParams p;
+  p.steps = 80;
+  const GeneratedWorkload w = GenerateTpcDs(p);
+  Engine engine(cfg);
+  ASSERT_TRUE(engine.Run(w.t1, w.t2).ok());
+
+  Party probe0(0, 1), probe1(1, 2);
+  Protocol2PC probe(&probe0, &probe1, CostModel::Free());
+  const uint32_t in_view = CountRealInside(&probe, engine.view().rows());
+  const uint32_t in_cache =
+      CountRealInside(&probe, engine.cache().rows());
+  EXPECT_EQ(in_view + in_cache,
+            engine.Summary().total_real_entries_cached);
+}
+
+INSTANTIATE_TEST_SUITE_P(Strategies, EngineConservationTest,
+                         ::testing::Values(Strategy::kDpTimer,
+                                           Strategy::kDpAnt, Strategy::kEp));
+
+// ---------------------------------------------------------------------------
+// DP answers never exceed the truth (deferral-only error, no flush)
+// ---------------------------------------------------------------------------
+
+TEST(EngineMonotonicityTest, ViewAnswerNeverExceedsTruth) {
+  IncShrinkConfig cfg = DefaultTpcDsConfig();
+  cfg.strategy = Strategy::kDpTimer;
+  cfg.flush_interval = 0;
+  TpcDsParams p;
+  p.steps = 100;
+  const GeneratedWorkload w = GenerateTpcDs(p);
+  Engine engine(cfg);
+  ASSERT_TRUE(engine.Run(w.t1, w.t2).ok());
+  for (const StepMetrics& m : engine.step_metrics()) {
+    // The view holds a subset of the true join (dummies don't count).
+    EXPECT_LE(m.view_answer, m.true_count) << "step " << m.t;
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Released sizes follow the leakage mechanism's distribution
+// ---------------------------------------------------------------------------
+
+TEST(ReleaseDistributionTest, TimerReleasesMatchMechanismModel) {
+  // Run the engine and M_timer on identical per-step real-entry streams
+  // with matched noise scale; their release sequences must agree in mean.
+  IncShrinkConfig cfg = DefaultTpcDsConfig();
+  cfg.strategy = Strategy::kDpTimer;
+  cfg.flush_interval = 0;
+  TpcDsParams p;
+  p.steps = 200;
+  const GeneratedWorkload w = GenerateTpcDs(p);
+  Engine engine(cfg);
+  ASSERT_TRUE(engine.Run(w.t1, w.t2).ok());
+
+  Rng mech_rng(9999);
+  TimerLeakageMechanism mech(cfg.eps, cfg.budget_b, cfg.timer_T, &mech_rng);
+  RunningStat real_releases, mech_releases;
+  const auto& entries = engine.per_step_real_entries();
+  for (size_t i = 0; i < entries.size(); ++i) {
+    const LeakageRelease model = mech.Step(entries[i]);
+    const LeakageRelease& actual = engine.releases()[i];
+    ASSERT_EQ(model.fired, actual.fired) << i;
+    if (model.fired) {
+      mech_releases.Add(model.size);
+      real_releases.Add(actual.size);
+    }
+  }
+  ASSERT_GT(real_releases.count(), 10u);
+  // Same underlying counts, independent Laplace draws at the same scale.
+  EXPECT_NEAR(real_releases.mean(), mech_releases.mean(),
+              3.0 * cfg.budget_b / cfg.eps);
+}
+
+}  // namespace
+}  // namespace incshrink

@@ -1,0 +1,170 @@
+#include <gtest/gtest.h>
+
+#include "src/common/rng.h"
+#include "src/common/stats.h"
+#include "src/secret/share.h"
+#include "src/secret/shared_rows.h"
+
+namespace incshrink {
+namespace {
+
+// ---------------------------------------------------------------------------
+// (2,2)-XOR sharing (paper Section 3)
+// ---------------------------------------------------------------------------
+
+TEST(ShareTest, RoundTrip) {
+  Rng rng(1);
+  for (int i = 0; i < 1000; ++i) {
+    const Word x = rng.Next32();
+    const WordShares s = ShareWord(x, &rng);
+    EXPECT_EQ(RecoverWord(s), x);
+  }
+}
+
+TEST(ShareTest, AvailabilityBothSharesNeeded) {
+  Rng rng(2);
+  const WordShares s = ShareWord(0xDEADBEEF, &rng);
+  // Neither share alone equals the secret except with negligible chance
+  // (checked over many trials below); here: recover needs the XOR.
+  EXPECT_EQ(s.s0 ^ s.s1, 0xDEADBEEFu);
+}
+
+TEST(ShareTest, SingleShareIsUniform) {
+  // Confidentiality: the distribution of share s1 for a fixed secret is
+  // uniform — its mean bit frequency must match an unbiased source.
+  Rng rng(3);
+  int64_t bit_count = 0;
+  const int kTrials = 100000;
+  for (int i = 0; i < kTrials; ++i) {
+    const WordShares s = ShareWord(7, &rng);  // constant secret
+    bit_count += __builtin_popcount(s.s1);
+  }
+  const double mean_bits = static_cast<double>(bit_count) / kTrials;
+  EXPECT_NEAR(mean_bits, 16.0, 0.05);
+}
+
+TEST(ShareTest, SharesOfDifferentSecretsIndistinguishableInMean) {
+  // For two different messages, the marginal distribution of each share must
+  // match (Lemma 9) — compare empirical means of share s0.
+  Rng rng(4);
+  RunningStat a, b;
+  for (int i = 0; i < 100000; ++i) {
+    a.Add(static_cast<double>(ShareWord(0, &rng).s0));
+    b.Add(static_cast<double>(ShareWord(0xFFFFFFFF, &rng).s0));
+  }
+  const double center = 2147483647.5;
+  EXPECT_NEAR(a.mean() / center, 1.0, 0.02);
+  EXPECT_NEAR(b.mean() / center, 1.0, 0.02);
+}
+
+TEST(ShareTest, RerandomizePreservesSecretAndChangesShares) {
+  Rng rng(5);
+  const WordShares s = ShareWord(12345, &rng);
+  const WordShares r = RerandomizeWord(s, &rng);
+  EXPECT_EQ(RecoverWord(r), 12345u);
+  EXPECT_NE(r.s0, s.s0);  // fresh mask (fails w.p. 2^-32)
+}
+
+TEST(ShareTest, VectorShareRecover) {
+  Rng rng(6);
+  std::vector<Word> values = {1, 2, 3, 0xFFFFFFFF, 0};
+  std::vector<Word> s0, s1;
+  ShareWords(values, &rng, &s0, &s1);
+  EXPECT_EQ(RecoverWords(s0, s1), values);
+}
+
+// ---------------------------------------------------------------------------
+// SharedRows
+// ---------------------------------------------------------------------------
+
+TEST(SharedRowsTest, AppendAndRecover) {
+  Rng rng(7);
+  SharedRows rows(3);
+  rows.AppendSecretRow({1, 2, 3}, &rng);
+  rows.AppendSecretRow({4, 5, 6}, &rng);
+  EXPECT_EQ(rows.size(), 2u);
+  EXPECT_EQ(rows.width(), 3u);
+  EXPECT_EQ(rows.RecoverRow(0), (std::vector<Word>{1, 2, 3}));
+  EXPECT_EQ(rows.RecoverRow(1), (std::vector<Word>{4, 5, 6}));
+  EXPECT_EQ(rows.RecoverAt(1, 2), 6u);
+}
+
+TEST(SharedRowsTest, AppendSharedRow) {
+  SharedRows rows(2);
+  rows.AppendSharedRow({0xA, 0xB}, {0x1, 0x2});
+  EXPECT_EQ(rows.RecoverRow(0), (std::vector<Word>{0xA ^ 0x1, 0xB ^ 0x2}));
+}
+
+TEST(SharedRowsTest, AppendAllConcatenates) {
+  Rng rng(8);
+  SharedRows a(2), b(2);
+  a.AppendSecretRow({1, 1}, &rng);
+  b.AppendSecretRow({2, 2}, &rng);
+  b.AppendSecretRow({3, 3}, &rng);
+  a.AppendAll(b);
+  EXPECT_EQ(a.size(), 3u);
+  EXPECT_EQ(a.RecoverRow(2), (std::vector<Word>{3, 3}));
+}
+
+TEST(SharedRowsTest, SplitPrefix) {
+  Rng rng(9);
+  SharedRows rows(1);
+  for (Word i = 0; i < 10; ++i) rows.AppendSecretRow({i}, &rng);
+  SharedRows head = rows.SplitPrefix(4);
+  EXPECT_EQ(head.size(), 4u);
+  EXPECT_EQ(rows.size(), 6u);
+  EXPECT_EQ(head.RecoverRow(0)[0], 0u);
+  EXPECT_EQ(head.RecoverRow(3)[0], 3u);
+  EXPECT_EQ(rows.RecoverRow(0)[0], 4u);
+}
+
+TEST(SharedRowsTest, SplitPrefixClampsToSize) {
+  Rng rng(10);
+  SharedRows rows(1);
+  rows.AppendSecretRow({1}, &rng);
+  SharedRows head = rows.SplitPrefix(100);
+  EXPECT_EQ(head.size(), 1u);
+  EXPECT_EQ(rows.size(), 0u);
+  EXPECT_TRUE(rows.empty());
+}
+
+TEST(SharedRowsTest, TruncateAndClear) {
+  Rng rng(11);
+  SharedRows rows(2);
+  for (Word i = 0; i < 5; ++i) rows.AppendSecretRow({i, i}, &rng);
+  rows.Truncate(3);
+  EXPECT_EQ(rows.size(), 3u);
+  rows.Truncate(10);  // no-op
+  EXPECT_EQ(rows.size(), 3u);
+  rows.Clear();
+  EXPECT_EQ(rows.size(), 0u);
+}
+
+TEST(SharedRowsTest, TotalBytesCountsBothServers) {
+  Rng rng(12);
+  SharedRows rows(4);
+  rows.AppendSecretRow({0, 0, 0, 0}, &rng);
+  EXPECT_EQ(rows.TotalBytes(), 4u * 4u * 2u);
+}
+
+class SharedRowsSizeTest : public ::testing::TestWithParam<size_t> {};
+
+TEST_P(SharedRowsSizeTest, RecoverAllRowsAtScale) {
+  const size_t n = GetParam();
+  Rng rng(100 + n);
+  SharedRows rows(3);
+  std::vector<std::vector<Word>> expect;
+  for (size_t i = 0; i < n; ++i) {
+    std::vector<Word> row = {static_cast<Word>(i), rng.Next32(),
+                             static_cast<Word>(i * 7)};
+    expect.push_back(row);
+    rows.AppendSecretRow(row, &rng);
+  }
+  for (size_t i = 0; i < n; ++i) EXPECT_EQ(rows.RecoverRow(i), expect[i]);
+}
+
+INSTANTIATE_TEST_SUITE_P(Sizes, SharedRowsSizeTest,
+                         ::testing::Values(0, 1, 2, 17, 256, 1000));
+
+}  // namespace
+}  // namespace incshrink

@@ -1,0 +1,116 @@
+#include <gtest/gtest.h>
+
+#include "src/mpc/party.h"
+#include "src/mpc/protocol.h"
+#include "src/oblivious/formats.h"
+#include "src/storage/materialized_view.h"
+#include "src/storage/outsourced_store.h"
+#include "src/storage/secure_cache.h"
+
+namespace incshrink {
+namespace {
+
+SharedRows MakeBatch(Rng* rng, size_t width, const std::vector<Word>& firsts) {
+  SharedRows batch(width);
+  for (Word f : firsts) {
+    std::vector<Word> row(width, 0);
+    row[0] = f;
+    batch.AppendSecretRow(row, rng);
+  }
+  return batch;
+}
+
+TEST(OutsourcedTableTest, BatchesByStep) {
+  Rng rng(1);
+  OutsourcedTable t(3);
+  EXPECT_EQ(t.AppendBatch(MakeBatch(&rng, 3, {1, 2})), 0u);
+  EXPECT_EQ(t.AppendBatch(MakeBatch(&rng, 3, {3})), 1u);
+  EXPECT_EQ(t.AppendBatch(MakeBatch(&rng, 3, {4, 5, 6})), 2u);
+  EXPECT_EQ(t.steps(), 3u);
+  EXPECT_EQ(t.total_rows(), 6u);
+  EXPECT_EQ(t.batch(1).size(), 1u);
+  EXPECT_EQ(t.batch(1).RecoverAt(0, 0), 3u);
+}
+
+TEST(OutsourcedTableTest, ConcatRange) {
+  Rng rng(2);
+  OutsourcedTable t(1);
+  for (Word s = 0; s < 5; ++s) t.AppendBatch(MakeBatch(&rng, 1, {s * 10}));
+  const SharedRows mid = t.ConcatRange(1, 3);
+  ASSERT_EQ(mid.size(), 3u);
+  EXPECT_EQ(mid.RecoverAt(0, 0), 10u);
+  EXPECT_EQ(mid.RecoverAt(2, 0), 30u);
+  EXPECT_EQ(t.ConcatRange(4, 100).size(), 1u);  // clamps
+  EXPECT_EQ(t.ConcatAll().size(), 5u);
+}
+
+TEST(OutsourcedTableTest, EmptyRanges) {
+  OutsourcedTable t(2);
+  EXPECT_EQ(t.ConcatAll().size(), 0u);
+  EXPECT_EQ(t.ConcatRange(0, 5).size(), 0u);
+}
+
+class SecureCacheTest : public ::testing::Test {
+ protected:
+  SecureCacheTest()
+      : s0_(0, 5), s1_(1, 6), proto_(&s0_, &s1_, CostModel::EmpLikeLan()) {}
+  Party s0_;
+  Party s1_;
+  Protocol2PC proto_;
+};
+
+TEST_F(SecureCacheTest, CounterStartsAtZeroShared) {
+  SecureCache cache(&proto_);
+  EXPECT_EQ(cache.RecoverCounterInside(&proto_), 0u);
+  // The shared representation itself must not be the trivial (0, 0) pair.
+  EXPECT_NE(cache.counter().s0, 0u);
+}
+
+TEST_F(SecureCacheTest, AddAndResetCounter) {
+  SecureCache cache(&proto_);
+  cache.AddToCounter(&proto_, 7);
+  cache.AddToCounter(&proto_, 5);
+  EXPECT_EQ(cache.RecoverCounterInside(&proto_), 12u);
+  const WordShares before = cache.counter();
+  cache.ResetCounter(&proto_);
+  EXPECT_EQ(cache.RecoverCounterInside(&proto_), 0u);
+  EXPECT_NE(cache.counter().s0, before.s0);  // fresh randomness
+}
+
+TEST_F(SecureCacheTest, CounterResharedEachUpdate) {
+  SecureCache cache(&proto_);
+  cache.AddToCounter(&proto_, 1);
+  const Word share_a = cache.counter().s0;
+  cache.AddToCounter(&proto_, 0);  // same value, new shares
+  EXPECT_EQ(cache.RecoverCounterInside(&proto_), 1u);
+  EXPECT_NE(cache.counter().s0, share_a);
+}
+
+TEST_F(SecureCacheTest, AppendGrowsRows) {
+  SecureCache cache(&proto_);
+  Rng rng(7);
+  SharedRows delta(kViewWidth);
+  uint32_t seq = 0;
+  AppendDummyViewRow(&delta, &rng, &seq);
+  AppendDummyViewRow(&delta, &rng, &seq);
+  cache.Append(delta);
+  EXPECT_EQ(cache.size(), 2u);
+  EXPECT_EQ(*cache.seq(), 0u);  // engine-side seq is separate
+}
+
+TEST(MaterializedViewTest, AppendAndSize) {
+  MaterializedView view;
+  EXPECT_EQ(view.size(), 0u);
+  EXPECT_DOUBLE_EQ(view.SizeMb(), 0.0);
+  Rng rng(8);
+  SharedRows batch(kViewWidth);
+  uint32_t seq = 0;
+  for (int i = 0; i < 100; ++i) AppendDummyViewRow(&batch, &rng, &seq);
+  view.Append(batch);
+  EXPECT_EQ(view.size(), 100u);
+  // 100 rows * 7 words * 4 bytes * 2 servers.
+  EXPECT_NEAR(view.SizeMb(), 100.0 * 7 * 4 * 2 / (1024.0 * 1024.0), 1e-12);
+}
+
+}  // namespace
+}  // namespace incshrink

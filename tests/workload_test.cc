@@ -1,0 +1,150 @@
+#include <gtest/gtest.h>
+
+#include "src/relational/query.h"
+#include "src/workload/generators.h"
+
+namespace incshrink {
+namespace {
+
+TEST(TpcDsGeneratorTest, MatchesPaperViewEntryRate) {
+  TpcDsParams p;
+  p.steps = 2000;
+  const GeneratedWorkload w = GenerateTpcDs(p);
+  // Paper: ~2.7 new view entries per step.
+  EXPECT_NEAR(w.avg_view_entries_per_step(), 2.7, 0.35);
+  EXPECT_GT(w.total_t1, w.total_t2);  // not every sale is returned
+}
+
+TEST(TpcDsGeneratorTest, MultiplicityOneAndWindowed) {
+  TpcDsParams p;
+  p.steps = 200;
+  const GeneratedWorkload w = GenerateTpcDs(p);
+  std::vector<LogicalRecord> all1, all2;
+  for (const auto& v : w.t1) all1.insert(all1.end(), v.begin(), v.end());
+  for (const auto& v : w.t2) all2.insert(all2.end(), v.begin(), v.end());
+  // Every return matches exactly one sale, within [0, 9] days.
+  WindowJoinQuery q{0, 10, true};
+  EXPECT_EQ(WindowJoinCounter::CountFull(q, all1, all2),
+            w.total_view_entries);
+  EXPECT_EQ(w.total_view_entries, w.total_t2);
+}
+
+TEST(TpcDsGeneratorTest, DeterministicBySeed) {
+  TpcDsParams p;
+  p.steps = 50;
+  const GeneratedWorkload a = GenerateTpcDs(p);
+  const GeneratedWorkload b = GenerateTpcDs(p);
+  EXPECT_EQ(a.total_t1, b.total_t1);
+  EXPECT_EQ(a.total_view_entries, b.total_view_entries);
+  p.seed = 1234;
+  const GeneratedWorkload c = GenerateTpcDs(p);
+  EXPECT_NE(a.total_t1, c.total_t1);
+}
+
+TEST(TpcDsGeneratorTest, SparseAndBurstScaleViewEntries) {
+  TpcDsParams p;
+  p.steps = 1500;
+  const double base = GenerateTpcDs(p).avg_view_entries_per_step();
+  p.view_rate_scale = 0.1;
+  const double sparse = GenerateTpcDs(p).avg_view_entries_per_step();
+  p.view_rate_scale = 2.0;
+  const double burst = GenerateTpcDs(p).avg_view_entries_per_step();
+  EXPECT_NEAR(sparse / base, 0.1, 0.05);
+  EXPECT_NEAR(burst / base, 2.0, 0.25);
+}
+
+TEST(TpcDsGeneratorTest, ScaleGrowsStream) {
+  TpcDsParams p;
+  p.steps = 500;
+  const uint64_t base = GenerateTpcDs(p).total_t1;
+  p.scale = 4.0;
+  const uint64_t big = GenerateTpcDs(p).total_t1;
+  EXPECT_NEAR(static_cast<double>(big) / base, 4.0, 0.5);
+}
+
+TEST(CpdbGeneratorTest, MatchesPaperViewEntryRate) {
+  CpdbParams p;
+  p.steps = 1500;
+  const GeneratedWorkload w = GenerateCpdb(p);
+  // Paper: ~9.8 new view entries per step.
+  EXPECT_NEAR(w.avg_view_entries_per_step(), 9.8, 1.2);
+}
+
+TEST(CpdbGeneratorTest, AwardsStayInWindowAndEligibility) {
+  CpdbParams p;
+  p.steps = 300;
+  const GeneratedWorkload w = GenerateCpdb(p);
+  // Index allegations by key.
+  std::vector<LogicalRecord> all1;
+  for (const auto& v : w.t1) all1.insert(all1.end(), v.begin(), v.end());
+  std::vector<LogicalRecord> all2;
+  for (const auto& v : w.t2) all2.insert(all2.end(), v.begin(), v.end());
+  GrowingTable idx("alleg");
+  for (const auto& a : all1) idx.Insert(a);
+  uint32_t checked = 0;
+  for (const auto& award : all2) {
+    const auto* hits = idx.FindByKey(award.key);
+    ASSERT_NE(hits, nullptr);
+    ASSERT_EQ(hits->size(), 1u);  // unique officer per allegation
+    const LogicalRecord& alleg = idx.record((*hits)[0]);
+    EXPECT_GE(award.date, alleg.date);
+    EXPECT_LE(award.date - alleg.date, 10u);          // window
+    EXPECT_LE(award.step, alleg.step + 1);            // eligibility
+    ++checked;
+  }
+  EXPECT_GT(checked, 100u);
+}
+
+TEST(CpdbGeneratorTest, MultiplicityBoundedByMaxAwards) {
+  CpdbParams p;
+  p.steps = 300;
+  const GeneratedWorkload w = GenerateCpdb(p);
+  std::unordered_map<Word, uint32_t> per_officer;
+  for (const auto& v : w.t2)
+    for (const auto& award : v) ++per_officer[award.key];
+  for (const auto& [key, count] : per_officer) {
+    EXPECT_LE(count, p.max_awards) << key;
+  }
+}
+
+TEST(CpdbGeneratorTest, SparseScalesRate) {
+  CpdbParams p;
+  p.steps = 1000;
+  const double base = GenerateCpdb(p).avg_view_entries_per_step();
+  p.view_rate_scale = 0.1;
+  const double sparse = GenerateCpdb(p).avg_view_entries_per_step();
+  EXPECT_NEAR(sparse / base, 0.1, 0.06);
+}
+
+TEST(DefaultConfigTest, TpcDsMatchesPaperParameters) {
+  const IncShrinkConfig cfg = DefaultTpcDsConfig();
+  EXPECT_TRUE(cfg.Validate().ok());
+  EXPECT_DOUBLE_EQ(cfg.eps, 1.5);
+  EXPECT_EQ(cfg.omega, 1u);
+  EXPECT_EQ(cfg.budget_b, 10u);
+  EXPECT_EQ(cfg.timer_T, 10u);
+  EXPECT_DOUBLE_EQ(cfg.ant_theta, 30);
+  EXPECT_FALSE(cfg.t2_is_public);
+}
+
+TEST(DefaultConfigTest, CpdbMatchesPaperParameters) {
+  const IncShrinkConfig cfg = DefaultCpdbConfig();
+  EXPECT_TRUE(cfg.Validate().ok());
+  EXPECT_EQ(cfg.omega, 10u);
+  EXPECT_EQ(cfg.budget_b, 20u);
+  EXPECT_EQ(cfg.timer_T, 3u);
+  EXPECT_TRUE(cfg.t2_is_public);
+  EXPECT_FALSE(cfg.join.cap_t2);
+}
+
+TEST(DefaultConfigTest, ScaleConfigBatches) {
+  IncShrinkConfig cfg = DefaultTpcDsConfig();
+  const uint32_t base1 = cfg.upload_rows_t1;
+  ScaleConfigBatches(&cfg, 2.0);
+  EXPECT_EQ(cfg.upload_rows_t1, base1 * 2);
+  ScaleConfigBatches(&cfg, 0.1);
+  EXPECT_GE(cfg.upload_rows_t1, 1u);  // never zero
+}
+
+}  // namespace
+}  // namespace incshrink
