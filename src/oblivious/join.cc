@@ -164,8 +164,12 @@ JoinResult TruncatedNestedLoopJoin(Protocol2PC* proto, SharedRows* t1,
 
   const size_t n1 = t1->size();
   const size_t n2 = t2->size();
-  // Per pair: budget checks + key equality + window + row mux (Alg. 4 l.6-11).
-  proto->AccountAndGates(n1 * n2 * (5 + kViewWidth) * kWordBits);
+  // Per pair: budget checks + key equality + window + row mux + the muxed
+  // budget decrement (Alg. 4 l.6-11). The decrement circuit runs for every
+  // pair — a mux selects whether the decremented value is kept — so its cost
+  // is charged unconditionally; charging it only on matching pairs would
+  // make the simulated transcript data-dependent.
+  proto->AccountAndGates(n1 * n2 * (7 + kViewWidth) * kWordBits);
 
   for (size_t i = 0; i < n1; ++i) {
     std::vector<Word> outer = t1->RecoverRow(i);
@@ -184,8 +188,8 @@ JoinResult TruncatedNestedLoopJoin(Protocol2PC* proto, SharedRows* t1,
         EmitViewRow(proto, &block, true, outer[kSrcKeyCol],
                     outer[kSrcDateCol], inner[kSrcDateCol],
                     outer[kSrcRidCol], inner[kSrcRidCol], &block_seq);
-        // consume_budget(tup1, tup2, 1): decrement and re-share in place.
-        proto->AccountAndGates(2 * kWordBits);
+        // consume_budget(tup1, tup2, 1): decrement and re-share in place
+        // (circuit cost charged per pair above, match or not).
         --outer[budget_col1];
         --inner[budget_col2];
         const WordShares fresh = ShareWord(inner[budget_col2], rng);

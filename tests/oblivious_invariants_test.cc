@@ -1,0 +1,240 @@
+// Oblivious-ops leakage invariants (build-system bring-up satellite).
+//
+// The paper's leakage model allows an admissible adversary to observe only
+// the *sizes* of the secure arrays each operator touches — never anything
+// data-dependent. This suite pins that down operationally: for any two
+// inputs of the same public cardinality, every oblivious operator must
+// produce (a) the same output length and (b) the same protocol trace
+// (AND gates, XOR gates, bytes, rounds). A data-dependent branch anywhere
+// in sort/filter/join would show up as diverging gate counts.
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "src/mpc/cost_model.h"
+#include "src/mpc/party.h"
+#include "src/mpc/protocol.h"
+#include "src/oblivious/cache_ops.h"
+#include "src/oblivious/filter.h"
+#include "src/oblivious/formats.h"
+#include "src/oblivious/join.h"
+#include "src/oblivious/sort.h"
+#include "src/relational/encode.h"
+
+namespace incshrink {
+namespace {
+
+struct TraceResult {
+  size_t out_rows = 0;
+  CircuitStats stats;
+};
+
+void ExpectSameTrace(const TraceResult& a, const TraceResult& b,
+                     const char* what) {
+  EXPECT_EQ(a.out_rows, b.out_rows) << what << ": output length leaked";
+  EXPECT_EQ(a.stats.and_gates, b.stats.and_gates) << what << ": AND gates";
+  EXPECT_EQ(a.stats.xor_gates, b.stats.xor_gates) << what << ": XOR gates";
+  EXPECT_EQ(a.stats.bytes, b.stats.bytes) << what << ": bytes";
+  EXPECT_EQ(a.stats.rounds, b.stats.rounds) << what << ": rounds";
+}
+
+// Builds `n` random source-format rows; `density` controls how many are real
+// (the data-dependent quantity that must NOT influence any trace).
+SharedRows MakeSourceRows(size_t n, double density, Rng* rng) {
+  SharedRows rows(kSrcWidth);
+  uint32_t rid = 1;
+  for (size_t i = 0; i < n; ++i) {
+    if (rng->Bernoulli(density)) {
+      LogicalRecord rec;
+      rec.rid = rid++;
+      rec.key = rng->Next32() % 64;  // few keys -> many joins at density 1
+      rec.date = rng->Next32() % 30;
+      rec.payload = rng->Next32();
+      rows.AppendSecretRow(EncodeSourceRow(rec), rng);
+    } else {
+      rows.AppendSecretRow(MakeDummySourceRow(rng), rng);
+    }
+  }
+  return rows;
+}
+
+// ---------------------------------------------------------------------------
+// Sort
+// ---------------------------------------------------------------------------
+
+TEST(ObliviousInvariantsTest, SortTraceIndependentOfData) {
+  constexpr size_t kN = 96;
+  auto run = [&](uint64_t seed, double density) {
+    Party s0(0, seed), s1(1, seed + 1);
+    Protocol2PC proto(&s0, &s1, CostModel::Free());
+    Rng rng(seed + 2);
+    SharedRows rows = MakeSourceRows(kN, density, &rng);
+    ObliviousSort(&proto, &rows, kSrcKeyCol, true);
+    return TraceResult{rows.size(), proto.stats()};
+  };
+  const TraceResult base = run(1, 0.5);
+  ExpectSameTrace(base, run(999, 0.5), "sort(other data)");
+  ExpectSameTrace(base, run(1, 0.0), "sort(all dummies)");
+  ExpectSameTrace(base, run(5, 1.0), "sort(all real)");
+  EXPECT_EQ(base.stats.and_gates % SortNetworkCompareExchanges(kN), 0u)
+      << "sort cost should be a per-exchange multiple of the network size";
+}
+
+// ---------------------------------------------------------------------------
+// Selection / count
+// ---------------------------------------------------------------------------
+
+TEST(ObliviousInvariantsTest, SelectTraceIndependentOfData) {
+  constexpr size_t kN = 80;
+  const ObliviousPredicate pred = ObliviousPredicate::ColumnBetween(
+      kSrcDateCol, 5, 15);
+  auto run = [&](uint64_t seed, double density) {
+    Party s0(0, seed), s1(1, seed + 1);
+    Protocol2PC proto(&s0, &s1, CostModel::Free());
+    Rng rng(seed + 2);
+    SharedRows rows = MakeSourceRows(kN, density, &rng);
+    ObliviousSelect(&proto, &rows, kSrcValidCol, pred);
+    return TraceResult{rows.size(), proto.stats()};
+  };
+  const TraceResult base = run(3, 0.5);
+  ExpectSameTrace(base, run(1234, 0.5), "select(other data)");
+  ExpectSameTrace(base, run(3, 0.0), "select(none match)");
+  ExpectSameTrace(base, run(3, 1.0), "select(all real)");
+  EXPECT_EQ(base.out_rows, kN) << "selection must not shrink its input";
+}
+
+TEST(ObliviousInvariantsTest, CountWhereTraceIndependentOfData) {
+  constexpr size_t kN = 80;
+  const ObliviousPredicate pred =
+      ObliviousPredicate::ColumnLess(kSrcDateCol, 10);
+  auto run = [&](uint64_t seed, double density) {
+    Party s0(0, seed), s1(1, seed + 1);
+    Protocol2PC proto(&s0, &s1, CostModel::Free());
+    Rng rng(seed + 2);
+    SharedRows rows = MakeSourceRows(kN, density, &rng);
+    (void)ObliviousCountWhere(&proto, rows, kSrcValidCol, pred);
+    return TraceResult{rows.size(), proto.stats()};
+  };
+  ExpectSameTrace(run(7, 0.3), run(1007, 0.9), "count-where");
+}
+
+// ---------------------------------------------------------------------------
+// Joins: output size must be a function of public cardinalities only
+// ---------------------------------------------------------------------------
+
+class JoinInvariantsTest : public ::testing::TestWithParam<uint32_t> {};
+
+TEST_P(JoinInvariantsTest, SortMergeJoinTraceIndependentOfData) {
+  const uint32_t omega = GetParam();
+  constexpr size_t kN1 = 40, kN2 = 24;
+  JoinSpec spec;
+  spec.omega = omega;
+  auto run = [&](uint64_t seed, double density) {
+    Party s0(0, seed), s1(1, seed + 1);
+    Protocol2PC proto(&s0, &s1, CostModel::Free());
+    Rng rng(seed + 2);
+    SharedRows t1 = MakeSourceRows(kN1, density, &rng);
+    SharedRows t2 = MakeSourceRows(kN2, density, &rng);
+    uint32_t seq = 0;
+    JoinResult res = TruncatedSortMergeJoin(&proto, t1, t2, spec, &seq);
+    return TraceResult{res.rows.size(), proto.stats()};
+  };
+  const TraceResult base = run(11, 0.5);
+  // Paper invariant: |output| = omega * (|t1| + |t2|), content-independent.
+  EXPECT_EQ(base.out_rows, omega * (kN1 + kN2));
+  ExpectSameTrace(base, run(2048, 0.5), "smj(other data)");
+  ExpectSameTrace(base, run(11, 0.0), "smj(no real rows)");
+  ExpectSameTrace(base, run(11, 1.0), "smj(every row real)");
+}
+
+TEST_P(JoinInvariantsTest, NestedLoopJoinTraceIndependentOfData) {
+  const uint32_t omega = GetParam();
+  constexpr size_t kN1 = 12, kN2 = 10;
+  JoinSpec spec;
+  spec.omega = omega;
+  auto run = [&](uint64_t seed, double density) {
+    Party s0(0, seed), s1(1, seed + 1);
+    Protocol2PC proto(&s0, &s1, CostModel::Free());
+    Rng rng(seed + 2);
+    // Nested-loop inputs carry a per-row budget column appended to the
+    // source format.
+    SharedRows t1(kSrcWidth + 1), t2(kSrcWidth + 1);
+    auto fill = [&](SharedRows* t, size_t n) {
+      for (size_t i = 0; i < n; ++i) {
+        std::vector<Word> row =
+            rng.Bernoulli(density)
+                ? EncodeSourceRow({0, static_cast<Word>(i + 1),
+                                   rng.Next32() % 16, rng.Next32() % 30,
+                                   rng.Next32()})
+                : MakeDummySourceRow(&rng);
+        row.push_back(omega);  // remaining contribution budget
+        t->AppendSecretRow(row, &rng);
+      }
+    };
+    fill(&t1, kN1);
+    fill(&t2, kN2);
+    uint32_t seq = 0;
+    JoinResult res = TruncatedNestedLoopJoin(&proto, &t1, &t2, kSrcWidth,
+                                             kSrcWidth, spec, &seq);
+    return TraceResult{res.rows.size(), proto.stats()};
+  };
+  const TraceResult base = run(21, 0.5);
+  // Paper Algorithm 4: |output| = omega * |t1| regardless of content.
+  EXPECT_EQ(base.out_rows, omega * kN1);
+  ExpectSameTrace(base, run(4096, 0.5), "nlj(other data)");
+  ExpectSameTrace(base, run(21, 0.0), "nlj(no real rows)");
+  ExpectSameTrace(base, run(21, 1.0), "nlj(every row real)");
+}
+
+INSTANTIATE_TEST_SUITE_P(Omegas, JoinInvariantsTest,
+                         ::testing::Values(1u, 3u));
+
+// ---------------------------------------------------------------------------
+// Cache read / flush: prefix length is public, trace is data-independent
+// ---------------------------------------------------------------------------
+
+TEST(ObliviousInvariantsTest, CacheReadTraceIndependentOfData) {
+  constexpr size_t kCache = 64, kRead = 20;
+  auto run = [&](uint64_t seed, double density) {
+    Party s0(0, seed), s1(1, seed + 1);
+    Protocol2PC proto(&s0, &s1, CostModel::Free());
+    Rng rng(seed + 2);
+    SharedRows cache(kViewWidth);
+    uint32_t seq = 0;
+    for (size_t i = 0; i < kCache; ++i) {
+      const bool real = rng.Bernoulli(density);
+      std::vector<Word> row(kViewWidth, 0);
+      row[kViewIsViewCol] = real;
+      row[kViewSortKeyCol] = MakeCacheSortKey(real, seq++);
+      for (size_t c = kViewKeyCol; c < kViewWidth; ++c) row[c] = rng.Next32();
+      cache.AppendSecretRow(row, &rng);
+    }
+    SharedRows got = ObliviousCacheRead(&proto, &cache, kRead);
+    EXPECT_EQ(got.size(), kRead);
+    EXPECT_EQ(cache.size(), kCache - kRead);
+    return TraceResult{got.size(), proto.stats()};
+  };
+  const TraceResult base = run(41, 0.5);
+  ExpectSameTrace(base, run(977, 0.5), "cache-read(other data)");
+  ExpectSameTrace(base, run(41, 0.0), "cache-read(all dummies)");
+  ExpectSameTrace(base, run(41, 1.0), "cache-read(all real)");
+}
+
+TEST(ObliviousInvariantsTest, FullJoinCountTraceIndependentOfData) {
+  constexpr size_t kN1 = 32, kN2 = 16;
+  JoinSpec spec;
+  auto run = [&](uint64_t seed, double density) {
+    Party s0(0, seed), s1(1, seed + 1);
+    Protocol2PC proto(&s0, &s1, CostModel::Free());
+    Rng rng(seed + 2);
+    SharedRows t1 = MakeSourceRows(kN1, density, &rng);
+    SharedRows t2 = MakeSourceRows(kN2, density, &rng);
+    (void)ObliviousJoinCountFull(&proto, t1, t2, spec);
+    return TraceResult{0, proto.stats()};
+  };
+  ExpectSameTrace(run(31, 0.2), run(8191, 0.95), "full-join-count");
+}
+
+}  // namespace
+}  // namespace incshrink

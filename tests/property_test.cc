@@ -1,9 +1,17 @@
 #include <gtest/gtest.h>
 
 #include <algorithm>
+#include <cmath>
 #include <map>
+#include <unordered_map>
+#include <vector>
 
+#include "src/common/status.h"
 #include "src/core/engine.h"
+#include "src/dp/accountant.h"
+#include "src/dp/composition.h"
+#include "src/dp/laplace.h"
+#include "src/dp/svt.h"
 #include "src/core/transform.h"
 #include "src/mpc/party.h"
 #include "src/oblivious/cache_ops.h"
@@ -356,6 +364,167 @@ TEST(ReleaseDistributionTest, TimerReleasesMatchMechanismModel) {
   // Same underlying counts, independent Laplace draws at the same scale.
   EXPECT_NEAR(real_releases.mean(), mech_releases.mean(),
               3.0 * cfg.budget_b / cfg.eps);
+}
+
+// ---------------------------------------------------------------------------
+// DP mechanism properties (build-system bring-up satellite)
+// ---------------------------------------------------------------------------
+
+class LaplaceMomentsTest : public ::testing::TestWithParam<double> {};
+
+TEST_P(LaplaceMomentsTest, MeanAndVarianceWithinTolerance) {
+  const double scale = GetParam();
+  Rng rng(static_cast<uint64_t>(scale * 1000) + 17);
+  RunningStat stat;
+  constexpr int kSamples = 200000;
+  for (int i = 0; i < kSamples; ++i) stat.Add(SampleLaplace(&rng, scale));
+  // Lap(0, s): mean 0, variance 2 s^2. Tolerances are ~5 empirical standard
+  // errors, so the test is deterministic-seed stable yet tight enough to
+  // catch a mis-scaled sampler (e.g. s vs. 2s, or exponential-only).
+  const double se_mean = std::sqrt(2.0 * scale * scale / kSamples);
+  EXPECT_NEAR(stat.mean(), 0.0, 5.0 * se_mean);
+  EXPECT_NEAR(stat.variance(), 2.0 * scale * scale,
+              0.05 * 2.0 * scale * scale);
+  // Symmetry: median of Lap(0, s) is 0, so signs split evenly.
+  Rng rng2(static_cast<uint64_t>(scale * 1000) + 18);
+  int positive = 0;
+  for (int i = 0; i < kSamples; ++i)
+    positive += (SampleLaplace(&rng2, scale) > 0);
+  EXPECT_NEAR(static_cast<double>(positive) / kSamples, 0.5, 0.01);
+}
+
+INSTANTIATE_TEST_SUITE_P(Scales, LaplaceMomentsTest,
+                         ::testing::Values(0.5, 1.0, 10.0 / 1.5, 20.0));
+
+TEST(SvtBudgetPropertyTest, ReleaseCounterMatchesFiresExactly) {
+  // Each SVT fire+release cycle consumes eps1 + eps2 = eps, so the composed
+  // privacy loss of a run is releases() * eps (sequential composition). That
+  // makes releases() the budget ledger — it must track the observable fires
+  // exactly: +1 on every true Observe, unchanged otherwise, never skipping
+  // or double-counting. (A drifting counter would silently under-report the
+  // consumed budget.)
+  Rng stream_rng(2024);
+  for (int trial = 0; trial < 20; ++trial) {
+    const double eps = 0.5 + stream_rng.NextDouble() * 2.0;
+    Rng svt_rng(1000 + trial);
+    NumericAboveNoisyThreshold svt(eps, 1.0, 30.0, &svt_rng);
+    uint64_t observed_fires = 0;
+    double count = 0;
+    for (int t = 0; t < 2000; ++t) {
+      count += stream_rng.Poisson(3.0);
+      const uint64_t before = svt.releases();
+      double release = 0;
+      if (svt.Observe(count, &release)) {
+        ++observed_fires;
+        EXPECT_EQ(svt.releases(), before + 1);
+        count = 0;
+      } else {
+        EXPECT_EQ(svt.releases(), before);
+      }
+    }
+    EXPECT_GT(observed_fires, 0u) << "stream never crossed the threshold";
+    EXPECT_EQ(svt.releases(), observed_fires);
+    // The sequentially composed loss of the run, as the accountant sums it.
+    const std::vector<double> per_release(svt.releases(), eps);
+    const double composed = SequentialComposition(per_release);
+    const double expected = static_cast<double>(observed_fires) * eps;
+    EXPECT_NEAR(composed, expected, 1e-9 * expected);  // summation rounding
+  }
+}
+
+TEST(SvtBudgetPropertyTest, ContributionLedgerEnforcesLifetimeBudget) {
+  // The accountant is the runtime guard behind the b-stability premise:
+  // whatever interleaving of charges and contributions, no record may ever
+  // exceed its lifetime budget b, and contributions never exceed charges.
+  Rng rng(77);
+  const uint32_t b = 10, omega = 2;
+  PrivacyAccountant acc(1.5, b, omega);
+  std::unordered_map<uint32_t, uint32_t> charged, contributed;
+  for (int i = 0; i < 5000; ++i) {
+    const uint32_t rid = static_cast<uint32_t>(rng.Uniform(40));
+    if (rng.Bernoulli(0.6)) {
+      const Status s = acc.ChargeParticipation(rid);
+      if (charged[rid] + omega <= b) {
+        EXPECT_TRUE(s.ok());
+        charged[rid] += omega;
+      } else {
+        EXPECT_EQ(s.code(), StatusCode::kPrivacyBudgetExhausted);
+      }
+    } else {
+      const uint32_t rows = static_cast<uint32_t>(rng.Uniform(3));
+      const Status s = acc.RecordContribution(rid, rows);
+      if (contributed[rid] + rows <= charged[rid]) {
+        EXPECT_TRUE(s.ok());
+        contributed[rid] += rows;
+      } else {
+        EXPECT_FALSE(s.ok());
+      }
+    }
+    EXPECT_EQ(acc.RemainingBudget(rid), b - charged[rid]);
+    EXPECT_EQ(acc.CanParticipate(rid), charged[rid] + omega <= b);
+  }
+}
+
+TEST(CompositionPropertyTest, SequentialCompositionMonotoneInEpsilon) {
+  Rng rng(11);
+  for (int trial = 0; trial < 200; ++trial) {
+    std::vector<double> epsilons(1 + rng.Uniform(8));
+    for (double& e : epsilons) e = rng.NextDouble() * 3.0;
+    const double base = SequentialComposition(epsilons);
+    // Raising any single epsilon raises the composed bound; adding a
+    // mechanism never lowers it.
+    std::vector<double> bumped = epsilons;
+    const size_t i = rng.Uniform(bumped.size());
+    bumped[i] += 0.25;
+    EXPECT_GT(SequentialComposition(bumped), base);
+    std::vector<double> extended = epsilons;
+    extended.push_back(rng.NextDouble());
+    EXPECT_GE(SequentialComposition(extended), base);
+    // Parallel composition is bounded by sequential composition.
+    EXPECT_LE(ParallelComposition(epsilons), base + 1e-12);
+  }
+}
+
+TEST(CompositionPropertyTest, DerivedEpsilonsMonotone) {
+  Rng rng(13);
+  for (int trial = 0; trial < 200; ++trial) {
+    const double eps = 0.1 + rng.NextDouble() * 3.0;
+    const uint32_t l = 1 + static_cast<uint32_t>(rng.Uniform(20));
+    // Group privacy: more updates per user -> weaker (larger) epsilon.
+    EXPECT_GE(UserLevelEpsilon(eps, l + 1), UserLevelEpsilon(eps, l));
+    EXPECT_GE(UserLevelEpsilon(eps + 0.1, l), UserLevelEpsilon(eps, l));
+    // Lemma 2: record-level loss grows with stability and with budget.
+    const double q = 1.0 + rng.NextDouble() * 9.0;
+    EXPECT_GE(StableTransformationEpsilon(eps, q + 1.0),
+              StableTransformationEpsilon(eps, q));
+    EXPECT_GE(StableTransformationEpsilon(eps + 0.1, q),
+              StableTransformationEpsilon(eps, q));
+    // Theorem 3: componentwise-larger inputs give a larger record-level sum.
+    std::vector<double> stabilities(3), eps_v(3);
+    for (int k = 0; k < 3; ++k) {
+      stabilities[k] = 1.0 + rng.NextDouble() * 4.0;
+      eps_v[k] = rng.NextDouble();
+    }
+    std::vector<double> stabilities_hi = stabilities;
+    stabilities_hi[rng.Uniform(3)] += 1.0;
+    EXPECT_GE(RecordLevelEpsilon(stabilities_hi, eps_v),
+              RecordLevelEpsilon(stabilities, eps_v));
+  }
+}
+
+TEST(CompositionPropertyTest, DeploymentBudgetComposes) {
+  DeploymentBudget budget;
+  budget.view_update_eps = 1.5;
+  budget.owner_policy_eps = 0.5;
+  budget.max_updates_per_user = 4;
+  EXPECT_DOUBLE_EQ(budget.EventLevel(), 2.0);
+  EXPECT_DOUBLE_EQ(budget.UserLevel(), 8.0);
+  // Monotone in every field.
+  DeploymentBudget more = budget;
+  more.owner_policy_eps = 1.0;
+  EXPECT_GT(more.EventLevel(), budget.EventLevel());
+  more.max_updates_per_user = 5;
+  EXPECT_GT(more.UserLevel(), budget.UserLevel());
 }
 
 }  // namespace

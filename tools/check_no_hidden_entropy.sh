@@ -1,0 +1,49 @@
+#!/usr/bin/env bash
+# Static half of the deterministic-seed audit (the runtime half lives in
+# tests/determinism_test.cc): every random draw in this repository must come
+# from the seedable incshrink::Rng so that identical seeds reproduce
+# identical transcripts bit for bit. This script fails if any other entropy
+# source appears in committed sources.
+set -u
+
+cd "$(dirname "$0")/.."
+
+# Forbidden constructs and where they usually sneak in. `mt19937` and
+# `uniform_*_distribution` are banned too: libstdc++ gives no cross-platform
+# reproducibility guarantees for distributions, so everything must go
+# through common/rng.h.
+PATTERNS=(
+  'std::random_device'
+  'random_device'
+  '\bsrand\s*\('
+  '\brand\s*\(\s*\)'
+  'mt19937'
+  'minstd_rand'
+  'default_random_engine'
+  'uniform_int_distribution'
+  'uniform_real_distribution'
+  'normal_distribution'
+  'poisson_distribution'
+  'time\s*\(\s*(NULL|nullptr|0)\s*\)'
+  'high_resolution_clock'
+  'steady_clock::now.*seed'
+  'getrandom'
+  '/dev/urandom'
+)
+
+fail=0
+for pattern in "${PATTERNS[@]}"; do
+  hits=$(grep -rnE "$pattern" src tests bench examples 2>/dev/null)
+  if [ -n "$hits" ]; then
+    echo "FORBIDDEN entropy source (pattern: $pattern):"
+    echo "$hits"
+    fail=1
+  fi
+done
+
+if [ "$fail" -ne 0 ]; then
+  echo
+  echo "Use incshrink::Rng (src/common/rng.h) with an explicit seed instead."
+  exit 1
+fi
+echo "OK: no hidden entropy sources found."

@@ -1,0 +1,10 @@
+#!/usr/bin/env bash
+# Tier-1 verification, exactly as ROADMAP.md and CI run it:
+# configure, build everything, run every registered test.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+cmake -B build -S .
+cmake --build build -j"$(nproc)"
+cd build
+ctest --output-on-failure -j"$(nproc)"
