@@ -1,12 +1,17 @@
 // Reproduces **Figure 5**: the privacy/accuracy and privacy/efficiency
 // trade-off — sweep eps in [0.01, 50] for both DP protocols on both
-// datasets, reporting average L1 error and average QET.
+// datasets, reporting average L1 error and average QET (±1 sample stddev
+// across seeds).
 //
 // Paper shape (Observations 3-4):
 //   * sDPTimer's L1 error decreases monotonically as eps grows;
 //   * sDPANT's L1 error first rises then falls (small eps -> early updates
 //     -> small c*; large eps -> less deferred data);
 //   * QET decreases with eps for both (fewer dummies synchronized).
+//
+// All (eps, strategy, seed) engines of a dataset run concurrently through
+// RunConfigSweep; results are reduced in fixed index order, so the table is
+// bit-identical for any worker count.
 
 #include "bench/bench_common.h"
 
@@ -15,22 +20,38 @@ using namespace incshrink::bench;
 
 namespace {
 
+constexpr double kEps[] = {0.01, 0.1, 0.5, 1.0, 1.5, 5.0, 10.0, 50.0};
+constexpr int kSeeds = 5;
+
 void RunDataset(const DatasetSpec& spec) {
   std::printf("\n--- %s ---\n", spec.name.c_str());
-  std::printf("%8s | %20s | %20s\n", "", "avg L1 error", "avg QET (s)");
-  std::printf("%8s | %9s %10s | %9s %10s\n", "eps", "sDPTimer", "sDPANT",
+  std::vector<SweepPoint> points;
+  for (const double eps : kEps) {
+    for (const Strategy s : {Strategy::kDpTimer, Strategy::kDpAnt}) {
+      IncShrinkConfig cfg = WithStrategy(spec.config, s);
+      cfg.eps = eps;
+      points.push_back({StrategyName(s), cfg, &spec.workload, kSeeds});
+    }
+  }
+  const std::vector<AveragedRun> rows = RunConfigSweep(points);
+
+  std::printf("%8s | %31s | %31s\n", "", "avg L1 error", "avg QET (s)");
+  std::printf("%8s | %15s %15s | %15s %15s\n", "eps", "sDPTimer", "sDPANT",
               "sDPTimer", "sDPANT");
-  std::printf("---------+----------------------+---------------------\n");
-  for (const double eps : {0.01, 0.1, 0.5, 1.0, 1.5, 5.0, 10.0, 50.0}) {
-    IncShrinkConfig cfg = spec.config;
-    cfg.eps = eps;
-    const AveragedRun timer = RunWorkloadAveraged(
-        WithStrategy(cfg, Strategy::kDpTimer), spec.workload, 5);
-    const AveragedRun ant = RunWorkloadAveraged(
-        WithStrategy(cfg, Strategy::kDpAnt), spec.workload, 5);
-    std::printf("%8.2f | %9.2f %10.2f | %9.5f %10.5f\n", eps,
-                timer.l1_error, ant.l1_error, timer.qet_seconds,
-                ant.qet_seconds);
+  std::printf("---------+---------------------------------+"
+              "--------------------------------\n");
+  for (size_t i = 0; i < std::size(kEps); ++i) {
+    const AveragedRun& timer = rows[2 * i];
+    const AveragedRun& ant = rows[2 * i + 1];
+    // %16s, not %15s: printf counts bytes and '±' is 2 bytes in UTF-8, so
+    // 16 bytes render as the headers' 15 display columns.
+    std::printf("%8.2f | %16s %16s | %16s %16s\n", kEps[i],
+                FormatWithError(timer.l1_error, timer.l1_error_sd).c_str(),
+                FormatWithError(ant.l1_error, ant.l1_error_sd).c_str(),
+                FormatWithError(timer.qet_seconds, timer.qet_seconds_sd, 5)
+                    .c_str(),
+                FormatWithError(ant.qet_seconds, ant.qet_seconds_sd, 5)
+                    .c_str());
   }
 }
 

@@ -6,6 +6,9 @@
 // synchronized); sDPANT is more accurate on Burst data (it adapts its
 // update frequency to the arrival rate while the timer lets data pile up).
 // Efficiency is similar for both across workload types.
+//
+// The three variants x two strategies x five seeds run as one flat
+// RunConfigSweep per dataset.
 
 #include "bench/bench_common.h"
 
@@ -14,34 +17,58 @@ using namespace incshrink::bench;
 
 namespace {
 
+constexpr int kSeeds = 5;
+
+struct Variant {
+  const char* label;
+  double view_rate_scale;
+  bool bursty;
+};
+constexpr Variant kVariants[] = {{"Sparse", 0.1, false},
+                                 {"Standard", 1.0, false},
+                                 {"Burst", 2.0, true}};
+
 void RunDataset(const char* name, bool cpdb, uint64_t steps) {
   std::printf("\n--- %s ---\n", name);
-  std::printf("%9s | %20s | %20s\n", "", "avg L1 error", "avg QET (s)");
-  std::printf("%9s | %9s %10s | %9s %10s\n", "workload", "sDPTimer",
-              "sDPANT", "sDPTimer", "sDPANT");
-  std::printf("----------+----------------------+---------------------\n");
-  const struct {
-    const char* label;
-    double view_rate_scale;
-    bool bursty;
-  } kVariants[] = {{"Sparse", 0.1, false},
-                   {"Standard", 1.0, false},
-                   {"Burst", 2.0, true}};
-  for (const auto& variant : kVariants) {
+  // Generate every variant's stream up front so the sweep points can hold
+  // stable workload pointers.
+  std::vector<DatasetSpec> specs;
+  for (const Variant& variant : kVariants) {
     DatasetSpec spec =
         cpdb ? MakeCpdb(steps, variant.view_rate_scale, 1.0, variant.bursty)
-             : MakeTpcDs(steps, variant.view_rate_scale, 1.0,
-                         variant.bursty);
+             : MakeTpcDs(steps, variant.view_rate_scale, 1.0, variant.bursty);
     // The owner's fixed-size batches must cover the arrival peaks; burst
     // spikes carry ~4x the average rate.
     if (variant.bursty) ScaleConfigBatches(&spec.config, 4.0);
-    const AveragedRun timer = RunWorkloadAveraged(
-        WithStrategy(spec.config, Strategy::kDpTimer), spec.workload, 5);
-    const AveragedRun ant = RunWorkloadAveraged(
-        WithStrategy(spec.config, Strategy::kDpAnt), spec.workload, 5);
-    std::printf("%9s | %9.2f %10.2f | %9.5f %10.5f\n", variant.label,
-                timer.l1_error, ant.l1_error, timer.qet_seconds,
-                ant.qet_seconds);
+    specs.push_back(std::move(spec));
+  }
+  std::vector<SweepPoint> points;
+  for (size_t v = 0; v < specs.size(); ++v) {
+    for (const Strategy s : {Strategy::kDpTimer, Strategy::kDpAnt}) {
+      points.push_back({std::string(kVariants[v].label) + "/" +
+                            StrategyName(s),
+                        WithStrategy(specs[v].config, s), &specs[v].workload,
+                        kSeeds});
+    }
+  }
+  const std::vector<AveragedRun> rows = RunConfigSweep(points);
+
+  std::printf("%9s | %31s | %31s\n", "", "avg L1 error", "avg QET (s)");
+  std::printf("%9s | %15s %15s | %15s %15s\n", "workload", "sDPTimer",
+              "sDPANT", "sDPTimer", "sDPANT");
+  std::printf("----------+---------------------------------+"
+              "--------------------------------\n");
+  for (size_t v = 0; v < specs.size(); ++v) {
+    const AveragedRun& timer = rows[2 * v];
+    const AveragedRun& ant = rows[2 * v + 1];
+    // 16-byte fields: the 2-byte '±' leaves 15 display columns (headers).
+    std::printf("%9s | %16s %16s | %16s %16s\n", kVariants[v].label,
+                FormatWithError(timer.l1_error, timer.l1_error_sd).c_str(),
+                FormatWithError(ant.l1_error, ant.l1_error_sd).c_str(),
+                FormatWithError(timer.qet_seconds, timer.qet_seconds_sd, 5)
+                    .c_str(),
+                FormatWithError(ant.qet_seconds, ant.qet_seconds_sd, 5)
+                    .c_str());
   }
 }
 

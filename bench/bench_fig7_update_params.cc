@@ -6,6 +6,11 @@
 // Paper shape (Observation 6): at small eps, sDPANT points sit upper-left
 // (accurate, slower) and sDPTimer lower-right (fast, less accurate); the
 // two clouds converge as eps grows and essentially coincide at eps = 10.
+//
+// The whole (eps, T, strategy, seed) grid of a dataset is one flat
+// RunConfigSweep, so every engine runs concurrently.
+
+#include <cmath>
 
 #include "bench/bench_common.h"
 
@@ -14,25 +19,45 @@ using namespace incshrink::bench;
 
 namespace {
 
+constexpr int kSeeds = 3;
+constexpr double kEps[] = {0.1, 1.0, 10.0};
+constexpr uint32_t kIntervals[] = {1u, 3u, 10u, 30u, 100u};
+
 void RunDataset(const char* name, bool cpdb, uint64_t steps,
                 double view_rate) {
-  for (const double eps : {0.1, 1.0, 10.0}) {
-    std::printf("\n--- %s, eps = %.1f ---\n", name, eps);
-    std::printf("%5s %7s | %10s %10s | %10s %10s\n", "T", "theta",
-                "Timer L1", "Timer QET", "ANT L1", "ANT QET");
-    for (const uint32_t T : {1u, 3u, 10u, 30u, 100u}) {
-      const DatasetSpec spec = cpdb ? MakeCpdb(steps) : MakeTpcDs(steps);
+  const DatasetSpec spec = cpdb ? MakeCpdb(steps) : MakeTpcDs(steps);
+  std::vector<SweepPoint> points;
+  for (const double eps : kEps) {
+    for (const uint32_t T : kIntervals) {
       IncShrinkConfig cfg = spec.config;
       cfg.eps = eps;
       cfg.timer_T = T;
       cfg.ant_theta = std::max(1.0, view_rate * T);
-      const AveragedRun timer = RunWorkloadAveraged(
-          WithStrategy(cfg, Strategy::kDpTimer), spec.workload, 3);
-      const AveragedRun ant = RunWorkloadAveraged(
-          WithStrategy(cfg, Strategy::kDpAnt), spec.workload, 3);
-      std::printf("%5u %7.0f | %10.2f %10.5f | %10.2f %10.5f\n", T,
-                  cfg.ant_theta, timer.l1_error, timer.qet_seconds,
-                  ant.l1_error, ant.qet_seconds);
+      for (const Strategy s : {Strategy::kDpTimer, Strategy::kDpAnt}) {
+        points.push_back(
+            {StrategyName(s), WithStrategy(cfg, s), &spec.workload, kSeeds});
+      }
+    }
+  }
+  const std::vector<AveragedRun> rows = RunConfigSweep(points);
+
+  size_t idx = 0;
+  for (const double eps : kEps) {
+    std::printf("\n--- %s, eps = %.1f ---\n", name, eps);
+    std::printf("%5s %7s | %15s %15s | %15s %15s\n", "T", "theta",
+                "Timer L1", "Timer QET", "ANT L1", "ANT QET");
+    for (const uint32_t T : kIntervals) {
+      const AveragedRun& timer = rows[idx++];
+      const AveragedRun& ant = rows[idx++];
+      // 16-byte fields: the 2-byte '±' leaves 15 display columns.
+      std::printf("%5u %7.0f | %16s %16s | %16s %16s\n", T,
+                  std::max(1.0, view_rate * T),
+                  FormatWithError(timer.l1_error, timer.l1_error_sd).c_str(),
+                  FormatWithError(timer.qet_seconds, timer.qet_seconds_sd, 5)
+                      .c_str(),
+                  FormatWithError(ant.l1_error, ant.l1_error_sd).c_str(),
+                  FormatWithError(ant.qet_seconds, ant.qet_seconds_sd, 5)
+                      .c_str());
     }
   }
 }

@@ -11,33 +11,47 @@
 //   (c) Transform time is roughly flat in omega (its input size is set by
 //       the upload batches), while (d) Shrink time grows with omega (its
 //       input — the cache — scales with omega).
+//
+// The (omega, strategy, seed) grid runs as one flat RunConfigSweep.
 
 #include "bench/bench_common.h"
 
 using namespace incshrink;
 using namespace incshrink::bench;
 
+namespace {
+constexpr int kSeeds = 3;
+constexpr uint32_t kOmegas[] = {2u, 4u, 8u, 16u, 32u};
+}  // namespace
+
 int main(int argc, char** argv) {
   const Options opt = ParseOptions(argc, argv);
   PrintHeader("Figure 8: truncation bound omega sweep (CPDB, b = 2*omega)");
+  const DatasetSpec spec = MakeCpdb(opt.steps_cpdb);
+  std::vector<SweepPoint> points;
+  for (const uint32_t omega : kOmegas) {
+    IncShrinkConfig cfg = spec.config;
+    cfg.omega = omega;
+    cfg.join.omega = omega;
+    cfg.budget_b = 2 * omega;
+    for (const Strategy s : {Strategy::kDpTimer, Strategy::kDpAnt}) {
+      points.push_back(
+          {StrategyName(s), WithStrategy(cfg, s), &spec.workload, kSeeds});
+    }
+  }
+  const std::vector<AveragedRun> rows = RunConfigSweep(points);
+
   std::printf("%6s | %9s %9s | %9s %9s | %9s %9s | %9s %9s\n", "omega",
               "Tmr L1", "ANT L1", "Tmr QET", "ANT QET", "Tmr Trans",
               "ANT Trans", "Tmr Shrnk", "ANT Shrnk");
   std::printf("-------+---------------------+---------------------+----------"
               "-----------+---------------------\n");
-  for (const uint32_t omega : {2u, 4u, 8u, 16u, 32u}) {
-    const DatasetSpec spec = MakeCpdb(opt.steps_cpdb);
-    IncShrinkConfig cfg = spec.config;
-    cfg.omega = omega;
-    cfg.join.omega = omega;
-    cfg.budget_b = 2 * omega;
-    const AveragedRun timer = RunWorkloadAveraged(
-        WithStrategy(cfg, Strategy::kDpTimer), spec.workload, 3);
-    const AveragedRun ant = RunWorkloadAveraged(
-        WithStrategy(cfg, Strategy::kDpAnt), spec.workload, 3);
+  for (size_t i = 0; i < std::size(kOmegas); ++i) {
+    const AveragedRun& timer = rows[2 * i];
+    const AveragedRun& ant = rows[2 * i + 1];
     std::printf(
         "%6u | %9.2f %9.2f | %9.5f %9.5f | %9.4f %9.4f | %9.4f %9.4f\n",
-        omega, timer.l1_error, ant.l1_error, timer.qet_seconds,
+        kOmegas[i], timer.l1_error, ant.l1_error, timer.qet_seconds,
         ant.qet_seconds, timer.transform_seconds, ant.transform_seconds,
         timer.shrink_seconds, ant.shrink_seconds);
   }

@@ -1,10 +1,13 @@
 // Reproduces **Figure 9**: scaling experiments — the stream is scaled to
 // 50%, 1x, 2x and 4x of its standard volume (both arrival rates and upload
 // batch sizes) and the DP protocols' *total* MPC maintenance time and
-// *total* query time are reported.
+// *total* query time are reported (±1 sample stddev across seeds).
 //
 // Paper shape: both totals grow roughly linearly-to-superlinearly with the
 // data scale, with sDPTimer and sDPANT close to each other throughout.
+//
+// All four scale groups (each with its own generated stream) sweep
+// concurrently through one flat RunConfigSweep per dataset.
 
 #include "bench/bench_common.h"
 
@@ -13,23 +16,47 @@ using namespace incshrink::bench;
 
 namespace {
 
+constexpr int kSeeds = 3;
+constexpr double kScales[] = {0.5, 1.0, 2.0, 4.0};
+
 void RunDataset(const char* name, bool cpdb, uint64_t steps) {
   std::printf("\n--- %s ---\n", name);
-  std::printf("%6s | %22s | %22s\n", "", "total MPC time (s)",
+  std::vector<DatasetSpec> specs;
+  for (const double scale : kScales) {
+    specs.push_back(cpdb ? MakeCpdb(steps, 1.0, scale)
+                         : MakeTpcDs(steps, 1.0, scale));
+  }
+  std::vector<SweepPoint> points;
+  for (size_t g = 0; g < specs.size(); ++g) {
+    for (const Strategy s : {Strategy::kDpTimer, Strategy::kDpAnt}) {
+      points.push_back({StrategyName(s), WithStrategy(specs[g].config, s),
+                        &specs[g].workload, kSeeds});
+    }
+  }
+  const std::vector<AveragedRun> rows = RunConfigSweep(points);
+
+  std::printf("%6s | %31s | %31s\n", "", "total MPC time (s)",
               "total query time (s)");
-  std::printf("%6s | %10s %11s | %10s %11s\n", "scale", "sDPTimer",
-              "sDPANT", "sDPTimer", "sDPANT");
-  std::printf("-------+------------------------+----------------------\n");
-  for (const double scale : {0.5, 1.0, 2.0, 4.0}) {
-    const DatasetSpec spec =
-        cpdb ? MakeCpdb(steps, 1.0, scale) : MakeTpcDs(steps, 1.0, scale);
-    const AveragedRun timer = RunWorkloadAveraged(
-        WithStrategy(spec.config, Strategy::kDpTimer), spec.workload, 3);
-    const AveragedRun ant = RunWorkloadAveraged(
-        WithStrategy(spec.config, Strategy::kDpAnt), spec.workload, 3);
-    std::printf("%5.1fx | %10.2f %11.2f | %10.3f %11.3f\n", scale,
-                timer.total_mpc_seconds, ant.total_mpc_seconds,
-                timer.total_query_seconds, ant.total_query_seconds);
+  std::printf("%6s | %15s %15s | %15s %15s\n", "scale", "sDPTimer", "sDPANT",
+              "sDPTimer", "sDPANT");
+  std::printf("-------+---------------------------------+"
+              "--------------------------------\n");
+  for (size_t g = 0; g < std::size(kScales); ++g) {
+    const AveragedRun& timer = rows[2 * g];
+    const AveragedRun& ant = rows[2 * g + 1];
+    // 16-byte fields: the 2-byte '±' leaves 15 display columns.
+    std::printf(
+        "%5.1fx | %16s %16s | %16s %16s\n", kScales[g],
+        FormatWithError(timer.total_mpc_seconds, timer.total_mpc_seconds_sd)
+            .c_str(),
+        FormatWithError(ant.total_mpc_seconds, ant.total_mpc_seconds_sd)
+            .c_str(),
+        FormatWithError(timer.total_query_seconds,
+                        timer.total_query_seconds_sd, 3)
+            .c_str(),
+        FormatWithError(ant.total_query_seconds, ant.total_query_seconds_sd,
+                        3)
+            .c_str());
   }
 }
 

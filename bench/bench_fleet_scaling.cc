@@ -1,0 +1,118 @@
+// Fleet scaling: wall-clock throughput (tenant-steps/sec) of a multi-tenant
+// DeploymentFleet as the tenant count and worker count grow.
+//
+// Each tenant is an independent deployment (alternating TPC-ds / CPDB
+// streams, cycling Timer / ANT / EP strategies, per-tenant RNG substreams
+// derived from one root seed). Because tenants share no protocol state, the
+// fleet parallelizes embarrassingly: on a multicore host an 8-tenant fleet
+// at 4 threads should finish >2x faster than at 1 thread, while producing
+// bit-identical per-tenant results — the bench cross-checks a summary
+// fingerprint across all thread counts and prints the verdict.
+//
+// Wall time here is measurement-only (std::chrono::steady_clock around
+// RunAll); nothing timed ever feeds back into simulated results.
+
+#include <chrono>
+#include <cstdint>
+#include <vector>
+
+#include "bench/bench_common.h"
+#include "src/core/fleet.h"
+
+using namespace incshrink;
+using namespace incshrink::bench;
+
+namespace {
+
+struct Fingerprint {
+  uint64_t hash = 0xcbf29ce484222325ull;  // FNV-1a
+  void Mix(uint64_t v) {
+    for (int i = 0; i < 8; ++i) {
+      hash ^= (v >> (8 * i)) & 0xFF;
+      hash *= 0x100000001b3ull;
+    }
+  }
+  void MixDouble(double d) {
+    uint64_t bits;
+    static_assert(sizeof(bits) == sizeof(d));
+    __builtin_memcpy(&bits, &d, sizeof(bits));
+    Mix(bits);
+  }
+};
+
+uint64_t FleetFingerprint(const DeploymentFleet& fleet) {
+  Fingerprint fp;
+  for (size_t i = 0; i < fleet.num_tenants(); ++i) {
+    const RunSummary s = fleet.TenantSummary(i);
+    fp.Mix(s.steps);
+    fp.Mix(s.updates);
+    fp.Mix(s.final_view_rows);
+    fp.Mix(s.final_true_count);
+    fp.MixDouble(s.l1_error.mean());
+    fp.MixDouble(s.total_mpc_seconds);
+    fp.MixDouble(s.qet_seconds.mean());
+  }
+  return fp.hash;
+}
+
+std::vector<DeploymentFleet::TenantSpec> MakeTenants(
+    size_t count, const DatasetSpec& tpcds, const DatasetSpec& cpdb) {
+  const Strategy kMix[] = {Strategy::kDpTimer, Strategy::kDpAnt,
+                           Strategy::kEp};
+  std::vector<DeploymentFleet::TenantSpec> tenants;
+  for (size_t i = 0; i < count; ++i) {
+    const DatasetSpec& spec = (i % 2 == 0) ? tpcds : cpdb;
+    DeploymentFleet::TenantSpec t;
+    t.name = spec.name + "/" + StrategyName(kMix[i % 3]) + "#" +
+             std::to_string(i);
+    t.config = WithStrategy(spec.config, kMix[i % 3]);
+    t.workload = &spec.workload;
+    tenants.push_back(std::move(t));
+  }
+  return tenants;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const Options opt = ParseOptions(argc, argv);
+  PrintHeader("Fleet scaling: tenant-steps/sec vs tenants x threads");
+  const DatasetSpec tpcds = MakeTpcDs(opt.steps_tpcds);
+  const DatasetSpec cpdb = MakeCpdb(opt.steps_cpdb);
+
+  std::printf("%8s %8s | %12s %14s %10s | %s\n", "tenants", "threads",
+              "steps", "steps/sec", "speedup", "wall");
+  bool deterministic = true;
+  for (const size_t tenants : {2u, 4u, 8u}) {
+    const std::vector<DeploymentFleet::TenantSpec> specs =
+        MakeTenants(tenants, tpcds, cpdb);
+    double base_seconds = 0;
+    uint64_t base_fingerprint = 0;
+    for (const int threads : {1, 2, 4}) {
+      DeploymentFleet fleet(specs, {/*root_seed=*/1729, threads});
+      const auto t0 = std::chrono::steady_clock::now();
+      fleet.RunAll();
+      const auto t1 = std::chrono::steady_clock::now();
+      const double seconds =
+          std::chrono::duration<double>(t1 - t0).count();
+      const DeploymentFleet::FleetStats stats = fleet.AggregateStats();
+      const uint64_t fingerprint = FleetFingerprint(fleet);
+      if (threads == 1) {
+        base_seconds = seconds;
+        base_fingerprint = fingerprint;
+      } else if (fingerprint != base_fingerprint) {
+        deterministic = false;
+      }
+      std::printf("%8zu %8d | %12llu %14.1f %9.2fx | %s\n", tenants, threads,
+                  static_cast<unsigned long long>(stats.engine_steps),
+                  static_cast<double>(stats.engine_steps) /
+                      std::max(1e-9, seconds),
+                  base_seconds / std::max(1e-9, seconds),
+                  FormatSeconds(seconds).c_str());
+    }
+  }
+  std::printf("\nDeterminism cross-check (per-tenant summary fingerprints "
+              "identical across thread counts): %s\n",
+              deterministic ? "OK" : "FAILED");
+  return deterministic ? 0 : 1;
+}

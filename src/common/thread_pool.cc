@@ -1,0 +1,118 @@
+#include "src/common/thread_pool.h"
+
+#include <algorithm>
+#include <cstdlib>
+
+#include "src/common/logging.h"
+
+namespace incshrink {
+
+int ResolveThreadCount(int requested) {
+  if (requested > 0) return requested;
+  if (const char* env = std::getenv("INCSHRINK_THREADS")) {
+    // Clamp before narrowing: absurd values (e.g. 2^32) must not wrap to a
+    // non-positive worker count.
+    const long v = std::strtol(env, nullptr, 10);
+    if (v > 0) return static_cast<int>(std::min(v, 1024L));
+  }
+  const unsigned hw = std::thread::hardware_concurrency();
+  return hw == 0 ? 1 : static_cast<int>(hw);
+}
+
+ThreadPool::ThreadPool(int num_threads)
+    : num_threads_(ResolveThreadCount(num_threads)) {
+  workers_.reserve(static_cast<size_t>(num_threads_ - 1));
+  for (int i = 1; i < num_threads_; ++i) {
+    workers_.emplace_back([this] { WorkerLoop(); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    shutdown_ = true;
+  }
+  work_cv_.notify_all();
+  for (std::thread& w : workers_) w.join();
+}
+
+void ThreadPool::RunSlice() {
+  for (;;) {
+    const size_t i = next_.fetch_add(1, std::memory_order_relaxed);
+    if (i >= n_) return;
+    try {
+      (*body_)(i);
+    } catch (...) {
+      std::lock_guard<std::mutex> lock(mu_);
+      if (!first_error_) first_error_ = std::current_exception();
+    }
+  }
+}
+
+void ThreadPool::WorkerLoop() {
+  uint64_t seen = 0;
+  for (;;) {
+    std::unique_lock<std::mutex> lock(mu_);
+    work_cv_.wait(lock, [&] { return shutdown_ || generation_ != seen; });
+    if (shutdown_) return;
+    seen = generation_;
+    lock.unlock();
+    RunSlice();
+    lock.lock();
+    if (--workers_active_ == 0) done_cv_.notify_all();
+  }
+}
+
+void ThreadPool::ParallelFor(size_t n,
+                             const std::function<void(size_t)>& body) {
+  if (n == 0) return;
+  if (workers_.empty()) {
+    // Single-thread pool: run inline. Error semantics match the
+    // multi-worker path — every iteration still runs, then the first
+    // exception is rethrown — so slot state after a failure does not
+    // depend on the worker count.
+    std::exception_ptr first;
+    for (size_t i = 0; i < n; ++i) {
+      try {
+        body(i);
+      } catch (...) {
+        if (!first) first = std::current_exception();
+      }
+    }
+    if (first) std::rethrow_exception(first);
+    return;
+  }
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    INCSHRINK_CHECK(body_ == nullptr);  // no nested / concurrent ParallelFor
+    body_ = &body;
+    n_ = n;
+    next_.store(0, std::memory_order_relaxed);
+    first_error_ = nullptr;
+    workers_active_ = workers_.size();
+    ++generation_;
+  }
+  work_cv_.notify_all();
+  RunSlice();  // the calling thread participates
+  std::unique_lock<std::mutex> lock(mu_);
+  done_cv_.wait(lock, [&] { return workers_active_ == 0; });
+  body_ = nullptr;
+  if (first_error_) {
+    std::exception_ptr err = first_error_;
+    first_error_ = nullptr;
+    lock.unlock();
+    std::rethrow_exception(err);
+  }
+}
+
+void ParallelFor(int num_threads, size_t n,
+                 const std::function<void(size_t)>& body) {
+  // Never spawn more workers than there are tasks: a 5-point sweep on a
+  // 64-core host needs 5 threads, not 63 idle wakeups.
+  const size_t resolved =
+      static_cast<size_t>(ResolveThreadCount(num_threads));
+  ThreadPool pool(static_cast<int>(std::min(resolved, std::max<size_t>(n, 1))));
+  pool.ParallelFor(n, body);
+}
+
+}  // namespace incshrink

@@ -1,0 +1,84 @@
+#include "src/core/fleet.h"
+
+#include <algorithm>
+
+#include "src/common/logging.h"
+
+namespace incshrink {
+
+uint64_t DeriveTenantSeed(uint64_t root_seed, size_t tenant_index) {
+  // One splitmix64 scramble of (root, index): the same expansion Rng uses
+  // for its own state, so adjacent tenant indices yield unrelated streams.
+  uint64_t z = root_seed +
+               0x9E3779B97F4A7C15ull * (static_cast<uint64_t>(tenant_index) + 1);
+  z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ull;
+  z = (z ^ (z >> 27)) * 0x94D049BB133111EBull;
+  return z ^ (z >> 31);
+}
+
+DeploymentFleet::DeploymentFleet(std::vector<TenantSpec> tenants,
+                                 const Options& options)
+    : tenants_(std::move(tenants)),
+      cursor_(tenants_.size(), 0),
+      // Workers beyond the tenant count would only collect idle wakeups
+      // every StepAll round.
+      pool_(static_cast<int>(std::min<size_t>(
+          static_cast<size_t>(ResolveThreadCount(options.num_threads)),
+          std::max<size_t>(tenants_.size(), 1)))) {
+  engines_.reserve(tenants_.size());
+  for (size_t i = 0; i < tenants_.size(); ++i) {
+    INCSHRINK_CHECK(tenants_[i].workload != nullptr);
+    tenants_[i].config.seed = DeriveTenantSeed(options.root_seed, i);
+    engines_.push_back(std::make_unique<Engine>(tenants_[i].config));
+  }
+}
+
+uint64_t DeploymentFleet::tenant_seed(size_t i) const {
+  return tenants_[i].config.seed;
+}
+
+bool DeploymentFleet::done() const {
+  for (size_t i = 0; i < tenants_.size(); ++i) {
+    if (cursor_[i] < tenants_[i].workload->steps()) return false;
+  }
+  return true;
+}
+
+size_t DeploymentFleet::StepAll() {
+  // The set of tenants that step this round is decided up front (it depends
+  // only on the cursors, never on scheduling), then executed concurrently:
+  // each task touches exactly one tenant's engine and cursor.
+  std::vector<size_t> live;
+  for (size_t i = 0; i < tenants_.size(); ++i) {
+    if (cursor_[i] < tenants_[i].workload->steps()) live.push_back(i);
+  }
+  if (live.empty()) return 0;
+  ++rounds_;
+  pool_.ParallelFor(live.size(), [&](size_t k) {
+    const size_t i = live[k];
+    const GeneratedWorkload& w = *tenants_[i].workload;
+    const uint64_t t = cursor_[i]++;
+    const Status st = engines_[i]->Step(w.t1[t], w.t2[t]);
+    INCSHRINK_CHECK(st.ok());
+  });
+  return live.size();
+}
+
+void DeploymentFleet::RunAll() {
+  while (StepAll() > 0) {
+  }
+}
+
+DeploymentFleet::FleetStats DeploymentFleet::AggregateStats() const {
+  FleetStats stats;
+  stats.rounds = rounds_;
+  for (const std::unique_ptr<Engine>& e : engines_) {
+    const RunSummary s = e->Summary();
+    stats.engine_steps += s.steps;
+    stats.simulated_mpc_seconds += s.total_mpc_seconds;
+    stats.simulated_query_seconds += s.total_query_seconds;
+  }
+  return stats;
+}
+
+}  // namespace incshrink

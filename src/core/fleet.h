@@ -1,0 +1,84 @@
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "src/common/thread_pool.h"
+#include "src/core/engine.h"
+#include "src/workload/generators.h"
+
+namespace incshrink {
+
+/// Protocol seed of tenant `i` in a fleet rooted at `root_seed`: a
+/// splitmix64 substream, so tenants are statistically independent yet every
+/// tenant's engine can be reconstructed standalone (the equivalence tests
+/// rely on this being public and stable).
+uint64_t DeriveTenantSeed(uint64_t root_seed, size_t tenant_index);
+
+/// \brief A multi-tenant deployment fleet: N fully independent IncShrink
+/// deployments (distinct view definitions, update strategies and streams)
+/// served side by side, the shape Shrinkwrap/DP-Sync frame the server side
+/// as — one shared service answering many DP-protected instances.
+///
+/// Tenants never share protocol state: each owns its Engine, parties,
+/// accountant and RNG substream, so stepping them concurrently is
+/// observationally identical to stepping them one at a time. The fleet's
+/// only cross-tenant artifacts are aggregate throughput counters.
+class DeploymentFleet {
+ public:
+  struct TenantSpec {
+    std::string name;
+    /// Per-tenant deployment config. `config.seed` is *ignored*; the fleet
+    /// overrides it with DeriveTenantSeed(root_seed, index).
+    IncShrinkConfig config;
+    /// Non-owning: the stream must outlive the fleet. Streams may be shared
+    /// between tenants (each tenant still runs its own noise realization).
+    const GeneratedWorkload* workload = nullptr;
+  };
+
+  struct Options {
+    uint64_t root_seed = 42;
+    int num_threads = 0;  ///< 0 = INCSHRINK_THREADS / hardware concurrency
+  };
+
+  DeploymentFleet(std::vector<TenantSpec> tenants, const Options& options);
+
+  /// Advances every tenant that still has stream left by one step,
+  /// concurrently across the pool. Returns how many tenants stepped
+  /// (0 == the whole fleet has consumed its streams).
+  size_t StepAll();
+
+  /// Steps until every tenant has consumed its stream.
+  void RunAll();
+
+  bool done() const;
+  size_t num_tenants() const { return tenants_.size(); }
+  const TenantSpec& tenant(size_t i) const { return tenants_[i]; }
+  const Engine& engine(size_t i) const { return *engines_[i]; }
+  uint64_t tenant_seed(size_t i) const;
+  RunSummary TenantSummary(size_t i) const { return engines_[i]->Summary(); }
+
+  /// Fleet-wide work counters (simulated protocol time, not wall time —
+  /// wall-clock throughput is measured by bench_fleet_scaling around
+  /// RunAll, outside the deterministic core).
+  struct FleetStats {
+    uint64_t rounds = 0;        ///< StepAll invocations so far
+    uint64_t engine_steps = 0;  ///< total tenant-steps executed
+    double simulated_mpc_seconds = 0;
+    double simulated_query_seconds = 0;
+  };
+  FleetStats AggregateStats() const;
+
+  int num_threads() const { return pool_.num_threads(); }
+
+ private:
+  std::vector<TenantSpec> tenants_;
+  std::vector<std::unique_ptr<Engine>> engines_;
+  std::vector<uint64_t> cursor_;  ///< next stream index per tenant
+  uint64_t rounds_ = 0;
+  ThreadPool pool_;
+};
+
+}  // namespace incshrink

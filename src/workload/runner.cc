@@ -4,8 +4,95 @@
 #include <cstdio>
 
 #include "src/common/logging.h"
+#include "src/common/thread_pool.h"
 
 namespace incshrink {
+
+namespace {
+
+/// The nine per-seed samples an AveragedRun aggregates, extracted from one
+/// replica's RunSummary.
+struct SeedSample {
+  double v[9] = {0};
+};
+
+SeedSample ExtractSample(const RunSummary& s) {
+  SeedSample x;
+  x.v[0] = s.l1_error.mean();
+  x.v[1] = s.OverallRelativeError();
+  x.v[2] = s.qet_seconds.mean();
+  x.v[3] = s.transform_seconds.mean();
+  x.v[4] = s.shrink_seconds.mean();
+  x.v[5] = s.total_mpc_seconds;
+  x.v[6] = s.total_query_seconds;
+  x.v[7] = s.final_view_mb;
+  x.v[8] = static_cast<double>(s.updates);
+  return x;
+}
+
+/// Fixed-shape pairwise (tree) sum over v[lo, hi). The reduction order is a
+/// pure function of the index range — never of which worker finished first —
+/// so parallel and serial sweeps reduce identically, and the tree shape also
+/// keeps rounding error O(log n) instead of the running-`+=` loop's O(n).
+double PairwiseSum(const std::vector<double>& v, size_t lo, size_t hi) {
+  const size_t n = hi - lo;
+  if (n == 1) return v[lo];
+  if (n == 2) return v[lo] + v[lo + 1];
+  const size_t mid = lo + n / 2;
+  return PairwiseSum(v, lo, mid) + PairwiseSum(v, mid, hi);
+}
+
+/// Reduces index-ordered per-seed samples into means + sample stddevs.
+AveragedRun ReduceSamples(const std::vector<SeedSample>& samples) {
+  const size_t n = samples.size();
+  INCSHRINK_CHECK_GT(n, 0u);
+  double mean[9];
+  double sd[9];
+  std::vector<double> column(n);
+  for (size_t k = 0; k < 9; ++k) {
+    for (size_t i = 0; i < n; ++i) column[i] = samples[i].v[k];
+    mean[k] = PairwiseSum(column, 0, n) / static_cast<double>(n);
+    if (n < 2) {
+      sd[k] = 0.0;
+    } else {
+      for (size_t i = 0; i < n; ++i) {
+        const double d = samples[i].v[k] - mean[k];
+        column[i] = d * d;
+      }
+      sd[k] = std::sqrt(PairwiseSum(column, 0, n) / static_cast<double>(n - 1));
+    }
+  }
+  AveragedRun avg;
+  avg.l1_error = mean[0];
+  avg.relative_error = mean[1];
+  avg.qet_seconds = mean[2];
+  avg.transform_seconds = mean[3];
+  avg.shrink_seconds = mean[4];
+  avg.total_mpc_seconds = mean[5];
+  avg.total_query_seconds = mean[6];
+  avg.view_mb = mean[7];
+  avg.updates = mean[8];
+  avg.l1_error_sd = sd[0];
+  avg.relative_error_sd = sd[1];
+  avg.qet_seconds_sd = sd[2];
+  avg.transform_seconds_sd = sd[3];
+  avg.shrink_seconds_sd = sd[4];
+  avg.total_mpc_seconds_sd = sd[5];
+  avg.total_query_seconds_sd = sd[6];
+  avg.view_mb_sd = sd[7];
+  avg.updates_sd = sd[8];
+  avg.num_seeds = static_cast<int>(n);
+  return avg;
+}
+
+RunSummary RunReplica(const IncShrinkConfig& config,
+                      const GeneratedWorkload& workload, int replica) {
+  IncShrinkConfig cfg = config;
+  cfg.seed = DeriveReplicaSeed(config.seed, replica);
+  return RunWorkload(cfg, workload);
+}
+
+}  // namespace
 
 RunSummary RunWorkload(const IncShrinkConfig& config,
                        const GeneratedWorkload& workload) {
@@ -15,36 +102,67 @@ RunSummary RunWorkload(const IncShrinkConfig& config,
   return engine.Summary();
 }
 
+std::vector<RunSummary> RunSeedSweep(const IncShrinkConfig& config,
+                                     const GeneratedWorkload& workload,
+                                     int num_seeds, int num_threads) {
+  INCSHRINK_CHECK_GT(num_seeds, 0);
+  std::vector<RunSummary> summaries(static_cast<size_t>(num_seeds));
+  ParallelFor(num_threads, summaries.size(), [&](size_t i) {
+    summaries[i] = RunReplica(config, workload, static_cast<int>(i));
+  });
+  return summaries;
+}
+
 AveragedRun RunWorkloadAveraged(const IncShrinkConfig& config,
                                 const GeneratedWorkload& workload,
-                                int num_seeds) {
+                                int num_seeds, int num_threads) {
+  const std::vector<RunSummary> summaries =
+      RunSeedSweep(config, workload, num_seeds, num_threads);
+  std::vector<SeedSample> samples(summaries.size());
+  for (size_t i = 0; i < summaries.size(); ++i)
+    samples[i] = ExtractSample(summaries[i]);
+  return ReduceSamples(samples);
+}
+
+AveragedRun RunWorkloadAveragedSerial(const IncShrinkConfig& config,
+                                      const GeneratedWorkload& workload,
+                                      int num_seeds) {
   INCSHRINK_CHECK_GT(num_seeds, 0);
-  AveragedRun avg;
-  for (int i = 0; i < num_seeds; ++i) {
-    IncShrinkConfig cfg = config;
-    cfg.seed = config.seed + 7919ull * static_cast<uint64_t>(i);
-    const RunSummary s = RunWorkload(cfg, workload);
-    avg.l1_error += s.l1_error.mean();
-    avg.relative_error += s.OverallRelativeError();
-    avg.qet_seconds += s.qet_seconds.mean();
-    avg.transform_seconds += s.transform_seconds.mean();
-    avg.shrink_seconds += s.shrink_seconds.mean();
-    avg.total_mpc_seconds += s.total_mpc_seconds;
-    avg.total_query_seconds += s.total_query_seconds;
-    avg.view_mb += s.final_view_mb;
-    avg.updates += static_cast<double>(s.updates);
+  std::vector<SeedSample> samples(static_cast<size_t>(num_seeds));
+  for (int i = 0; i < num_seeds; ++i)
+    samples[static_cast<size_t>(i)] =
+        ExtractSample(RunReplica(config, workload, i));
+  return ReduceSamples(samples);
+}
+
+std::vector<AveragedRun> RunConfigSweep(const std::vector<SweepPoint>& points,
+                                        int num_threads) {
+  // Flatten every (point, seed) engine into one task list with a stable
+  // task -> (point, seed) mapping, so the pool stays saturated across the
+  // whole sweep and every sample still lands in its own slot.
+  struct Task {
+    size_t point;
+    int seed;
+  };
+  std::vector<Task> tasks;
+  std::vector<std::vector<SeedSample>> samples(points.size());
+  for (size_t p = 0; p < points.size(); ++p) {
+    INCSHRINK_CHECK(points[p].workload != nullptr);
+    INCSHRINK_CHECK_GT(points[p].num_seeds, 0);
+    samples[p].resize(static_cast<size_t>(points[p].num_seeds));
+    for (int s = 0; s < points[p].num_seeds; ++s) tasks.push_back({p, s});
   }
-  const double n = num_seeds;
-  avg.l1_error /= n;
-  avg.relative_error /= n;
-  avg.qet_seconds /= n;
-  avg.transform_seconds /= n;
-  avg.shrink_seconds /= n;
-  avg.total_mpc_seconds /= n;
-  avg.total_query_seconds /= n;
-  avg.view_mb /= n;
-  avg.updates /= n;
-  return avg;
+  ParallelFor(num_threads, tasks.size(), [&](size_t i) {
+    const Task& task = tasks[i];
+    const SweepPoint& point = points[task.point];
+    samples[task.point][static_cast<size_t>(task.seed)] =
+        ExtractSample(RunReplica(point.config, *point.workload, task.seed));
+  });
+  std::vector<AveragedRun> results;
+  results.reserve(points.size());
+  for (size_t p = 0; p < points.size(); ++p)
+    results.push_back(ReduceSamples(samples[p]));
+  return results;
 }
 
 std::string FormatSeconds(double seconds) {
@@ -69,6 +187,13 @@ std::string FormatImprovement(double factor) {
   } else {
     std::snprintf(buf, sizeof(buf), "%.1fx", factor);
   }
+  return buf;
+}
+
+std::string FormatWithError(double mean, double sd, int precision) {
+  char buf[96];
+  std::snprintf(buf, sizeof(buf), "%.*f±%.*f", precision, mean, precision,
+                sd);
   return buf;
 }
 

@@ -1,6 +1,7 @@
 #pragma once
 
 #include <string>
+#include <vector>
 
 #include "src/core/engine.h"
 #include "src/workload/generators.h"
@@ -13,11 +14,20 @@ namespace incshrink {
 RunSummary RunWorkload(const IncShrinkConfig& config,
                        const GeneratedWorkload& workload);
 
+/// Protocol seed of replica `i` of an averaged run. Public so the
+/// equivalence tests (and anything replaying a single replica) can
+/// reconstruct the exact engines a sweep executed.
+inline uint64_t DeriveReplicaSeed(uint64_t base_seed, int replica) {
+  return base_seed + 7919ull * static_cast<uint64_t>(replica);
+}
+
 /// \brief Plain-number aggregates averaged over several protocol seeds.
 ///
 /// The DP protocols are randomized; single runs of short streams carry
 /// noticeable noise-realization variance, so the figure benches average a
-/// few seeds (the paper averages over long streams instead).
+/// few seeds (the paper averages over long streams instead). Each mean
+/// carries its sample standard deviation across seeds (`*_sd`, zero when
+/// `num_seeds == 1`) so benches can print error bars.
 struct AveragedRun {
   double l1_error = 0;
   double relative_error = 0;
@@ -28,11 +38,62 @@ struct AveragedRun {
   double total_query_seconds = 0;
   double view_mb = 0;
   double updates = 0;
+
+  double l1_error_sd = 0;
+  double relative_error_sd = 0;
+  double qet_seconds_sd = 0;
+  double transform_seconds_sd = 0;
+  double shrink_seconds_sd = 0;
+  double total_mpc_seconds_sd = 0;
+  double total_query_seconds_sd = 0;
+  double view_mb_sd = 0;
+  double updates_sd = 0;
+
+  int num_seeds = 0;
 };
 
+/// Runs `num_seeds` independent engines (seeds via DeriveReplicaSeed) on
+/// `num_threads` workers (0 = INCSHRINK_THREADS override, else hardware
+/// concurrency) and averages their summaries.
+///
+/// Determinism guarantee: per-seed results land in an index-ordered buffer
+/// and are merged with a fixed-shape pairwise reduction, so the returned
+/// AveragedRun is bit-identical for every thread count — including the
+/// no-thread reference path RunWorkloadAveragedSerial, which the
+/// parallel-equivalence suite compares against with exact `==`.
 AveragedRun RunWorkloadAveraged(const IncShrinkConfig& config,
                                 const GeneratedWorkload& workload,
-                                int num_seeds);
+                                int num_seeds, int num_threads = 0);
+
+/// Reference implementation: same seeds, same reduction, plain loop, no
+/// thread pool involvement at all.
+AveragedRun RunWorkloadAveragedSerial(const IncShrinkConfig& config,
+                                      const GeneratedWorkload& workload,
+                                      int num_seeds);
+
+/// Runs one engine per derived seed concurrently and returns the full
+/// per-seed summaries in seed-index order (entry i always used seed
+/// DeriveReplicaSeed(config.seed, i), whatever worker computed it).
+std::vector<RunSummary> RunSeedSweep(const IncShrinkConfig& config,
+                                     const GeneratedWorkload& workload,
+                                     int num_seeds, int num_threads = 0);
+
+/// One point of a configuration sweep: a labelled config, the workload it
+/// runs against (non-owning; must outlive the sweep call), and how many
+/// seeds to average.
+struct SweepPoint {
+  std::string label;
+  IncShrinkConfig config;
+  const GeneratedWorkload* workload = nullptr;
+  int num_seeds = 1;
+};
+
+/// Runs every (point, seed) engine of the sweep concurrently — the whole
+/// sweep is one flat task list, so a few slow points cannot starve the
+/// workers — and returns one AveragedRun per point, in point order, each
+/// reduced exactly as RunWorkloadAveraged would reduce it.
+std::vector<AveragedRun> RunConfigSweep(const std::vector<SweepPoint>& points,
+                                        int num_threads = 0);
 
 /// Convenience: formats seconds with an adaptive unit (s / ms / us).
 std::string FormatSeconds(double seconds);
@@ -40,5 +101,8 @@ std::string FormatSeconds(double seconds);
 /// Formats an improvement factor like the paper's "Imp." rows ("1366x",
 /// "1.5e+5x"); returns "1x" for the baseline itself.
 std::string FormatImprovement(double factor);
+
+/// Formats "mean ± sd" for bench error bars ("12.34±0.56").
+std::string FormatWithError(double mean, double sd, int precision = 2);
 
 }  // namespace incshrink

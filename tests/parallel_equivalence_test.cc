@@ -1,0 +1,340 @@
+// Parallel-equivalence suite: the deterministic parallel execution layer
+// must be *observationally invisible*. Every comparison here is exact
+// (`EXPECT_EQ` on doubles — bit identity, not closeness):
+//
+//   * RunWorkloadAveraged at 1, 2 and 8 threads == the no-thread serial
+//     reference, for both datasets under Timer / ANT / EP strategies;
+//   * RunSeedSweep / RunConfigSweep results are independent of the worker
+//     count;
+//   * DeploymentFleet per-tenant summaries AND transcripts match N
+//     standalone single-engine runs with the same derived seeds, at any
+//     thread count.
+//
+// This suite (with determinism_test) is what the ThreadSanitizer CI job
+// runs: a data race that perturbs any result bit fails loudly here.
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "src/common/thread_pool.h"
+#include "src/core/fleet.h"
+#include "src/workload/generators.h"
+#include "src/workload/runner.h"
+
+namespace incshrink {
+namespace {
+
+// ---------------------------------------------------------------------------
+// ThreadPool basics
+// ---------------------------------------------------------------------------
+
+TEST(ThreadPoolTest, ResolveThreadCountHonorsRequest) {
+  EXPECT_EQ(ResolveThreadCount(1), 1);
+  EXPECT_EQ(ResolveThreadCount(7), 7);
+  EXPECT_GE(ResolveThreadCount(0), 1);  // env/hardware fallback is positive
+}
+
+TEST(ThreadPoolTest, EveryIndexRunsExactlyOnce) {
+  for (const int threads : {1, 2, 8}) {
+    ThreadPool pool(threads);
+    EXPECT_EQ(pool.num_threads(), threads);
+    constexpr size_t kN = 1000;
+    std::vector<std::atomic<int>> hits(kN);
+    for (auto& h : hits) h.store(0);
+    pool.ParallelFor(kN, [&](size_t i) { hits[i].fetch_add(1); });
+    for (size_t i = 0; i < kN; ++i) EXPECT_EQ(hits[i].load(), 1) << i;
+  }
+}
+
+TEST(ThreadPoolTest, EmptyRangeAndReuse) {
+  ThreadPool pool(4);
+  pool.ParallelFor(0, [](size_t) { FAIL() << "must not run"; });
+  // The same pool handles many fork-joins back to back.
+  std::vector<int> out(64, 0);
+  for (int round = 0; round < 10; ++round) {
+    pool.ParallelFor(out.size(),
+                     [&](size_t i) { out[i] = static_cast<int>(i) + round; });
+    for (size_t i = 0; i < out.size(); ++i)
+      EXPECT_EQ(out[i], static_cast<int>(i) + round);
+  }
+}
+
+TEST(ThreadPoolTest, ExceptionsPropagateToCaller) {
+  ThreadPool pool(4);
+  EXPECT_THROW(
+      pool.ParallelFor(100,
+                       [&](size_t i) {
+                         if (i == 37) throw std::runtime_error("boom");
+                       }),
+      std::runtime_error);
+  // Pool is still usable afterwards.
+  std::atomic<size_t> count{0};
+  pool.ParallelFor(16, [&](size_t) { count.fetch_add(1); });
+  EXPECT_EQ(count.load(), 16u);
+}
+
+// ---------------------------------------------------------------------------
+// Exact-equality helpers
+// ---------------------------------------------------------------------------
+
+void ExpectStatIdentical(const RunningStat& a, const RunningStat& b) {
+  EXPECT_EQ(a.count(), b.count());
+  EXPECT_EQ(a.mean(), b.mean());
+  EXPECT_EQ(a.variance(), b.variance());
+  EXPECT_EQ(a.min(), b.min());
+  EXPECT_EQ(a.max(), b.max());
+  EXPECT_EQ(a.sum(), b.sum());
+}
+
+void ExpectSummaryIdentical(const RunSummary& a, const RunSummary& b) {
+  ExpectStatIdentical(a.l1_error, b.l1_error);
+  ExpectStatIdentical(a.relative_error, b.relative_error);
+  ExpectStatIdentical(a.true_count_stat, b.true_count_stat);
+  ExpectStatIdentical(a.qet_seconds, b.qet_seconds);
+  ExpectStatIdentical(a.transform_seconds, b.transform_seconds);
+  ExpectStatIdentical(a.shrink_seconds, b.shrink_seconds);
+  EXPECT_EQ(a.total_mpc_seconds, b.total_mpc_seconds);
+  EXPECT_EQ(a.total_query_seconds, b.total_query_seconds);
+  EXPECT_EQ(a.final_view_mb, b.final_view_mb);
+  EXPECT_EQ(a.final_view_rows, b.final_view_rows);
+  EXPECT_EQ(a.final_cache_rows, b.final_cache_rows);
+  EXPECT_EQ(a.updates, b.updates);
+  EXPECT_EQ(a.flushes, b.flushes);
+  EXPECT_EQ(a.steps, b.steps);
+  EXPECT_EQ(a.total_real_entries_cached, b.total_real_entries_cached);
+  EXPECT_EQ(a.final_true_count, b.final_true_count);
+}
+
+void ExpectAveragedIdentical(const AveragedRun& a, const AveragedRun& b) {
+  EXPECT_EQ(a.l1_error, b.l1_error);
+  EXPECT_EQ(a.relative_error, b.relative_error);
+  EXPECT_EQ(a.qet_seconds, b.qet_seconds);
+  EXPECT_EQ(a.transform_seconds, b.transform_seconds);
+  EXPECT_EQ(a.shrink_seconds, b.shrink_seconds);
+  EXPECT_EQ(a.total_mpc_seconds, b.total_mpc_seconds);
+  EXPECT_EQ(a.total_query_seconds, b.total_query_seconds);
+  EXPECT_EQ(a.view_mb, b.view_mb);
+  EXPECT_EQ(a.updates, b.updates);
+  EXPECT_EQ(a.l1_error_sd, b.l1_error_sd);
+  EXPECT_EQ(a.relative_error_sd, b.relative_error_sd);
+  EXPECT_EQ(a.qet_seconds_sd, b.qet_seconds_sd);
+  EXPECT_EQ(a.transform_seconds_sd, b.transform_seconds_sd);
+  EXPECT_EQ(a.shrink_seconds_sd, b.shrink_seconds_sd);
+  EXPECT_EQ(a.total_mpc_seconds_sd, b.total_mpc_seconds_sd);
+  EXPECT_EQ(a.total_query_seconds_sd, b.total_query_seconds_sd);
+  EXPECT_EQ(a.view_mb_sd, b.view_mb_sd);
+  EXPECT_EQ(a.updates_sd, b.updates_sd);
+  EXPECT_EQ(a.num_seeds, b.num_seeds);
+}
+
+GeneratedWorkload SmallTpcDs() {
+  TpcDsParams p;
+  p.steps = 40;
+  p.seed = 21;
+  return GenerateTpcDs(p);
+}
+
+GeneratedWorkload SmallCpdb() {
+  CpdbParams p;
+  p.steps = 24;
+  p.seed = 31;
+  return GenerateCpdb(p);
+}
+
+// ---------------------------------------------------------------------------
+// RunWorkloadAveraged: parallel == serial, bit for bit
+// ---------------------------------------------------------------------------
+
+void CheckAveragedEquivalence(const IncShrinkConfig& base,
+                              const GeneratedWorkload& workload) {
+  for (const Strategy strategy :
+       {Strategy::kDpTimer, Strategy::kDpAnt, Strategy::kEp}) {
+    IncShrinkConfig cfg = base;
+    cfg.strategy = strategy;
+    const AveragedRun serial = RunWorkloadAveragedSerial(cfg, workload, 3);
+    EXPECT_EQ(serial.num_seeds, 3);
+    for (const int threads : {1, 2, 8}) {
+      SCOPED_TRACE(std::string(StrategyName(strategy)) + " threads=" +
+                   std::to_string(threads));
+      const AveragedRun parallel =
+          RunWorkloadAveraged(cfg, workload, 3, threads);
+      ExpectAveragedIdentical(serial, parallel);
+    }
+  }
+}
+
+TEST(ParallelEquivalenceTest, AveragedRunMatchesSerialTpcDs) {
+  CheckAveragedEquivalence(DefaultTpcDsConfig(), SmallTpcDs());
+}
+
+TEST(ParallelEquivalenceTest, AveragedRunMatchesSerialCpdb) {
+  CheckAveragedEquivalence(DefaultCpdbConfig(), SmallCpdb());
+}
+
+TEST(ParallelEquivalenceTest, SeedSweepThreadCountInvariant) {
+  const GeneratedWorkload workload = SmallTpcDs();
+  const IncShrinkConfig cfg = DefaultTpcDsConfig();
+  const std::vector<RunSummary> ref = RunSeedSweep(cfg, workload, 4, 1);
+  ASSERT_EQ(ref.size(), 4u);
+  for (const int threads : {2, 8}) {
+    const std::vector<RunSummary> got =
+        RunSeedSweep(cfg, workload, 4, threads);
+    ASSERT_EQ(got.size(), ref.size());
+    for (size_t i = 0; i < ref.size(); ++i) {
+      SCOPED_TRACE("seed index " + std::to_string(i));
+      ExpectSummaryIdentical(ref[i], got[i]);
+    }
+  }
+}
+
+TEST(ParallelEquivalenceTest, SeedSweepEntryMatchesStandaloneReplica) {
+  // Slot i of a sweep is exactly the engine run with DeriveReplicaSeed(i),
+  // whichever worker computed it.
+  const GeneratedWorkload workload = SmallCpdb();
+  const IncShrinkConfig cfg = DefaultCpdbConfig();
+  const std::vector<RunSummary> sweep = RunSeedSweep(cfg, workload, 3, 8);
+  for (int i = 0; i < 3; ++i) {
+    IncShrinkConfig replica = cfg;
+    replica.seed = DeriveReplicaSeed(cfg.seed, i);
+    SCOPED_TRACE("replica " + std::to_string(i));
+    ExpectSummaryIdentical(RunWorkload(replica, workload),
+                           sweep[static_cast<size_t>(i)]);
+  }
+}
+
+TEST(ParallelEquivalenceTest, ConfigSweepMatchesPerPointAveraged) {
+  const GeneratedWorkload tpcds = SmallTpcDs();
+  const GeneratedWorkload cpdb = SmallCpdb();
+  std::vector<SweepPoint> points;
+  IncShrinkConfig a = DefaultTpcDsConfig();
+  a.strategy = Strategy::kDpTimer;
+  IncShrinkConfig b = DefaultTpcDsConfig();
+  b.strategy = Strategy::kDpAnt;
+  b.eps = 0.5;
+  IncShrinkConfig c = DefaultCpdbConfig();
+  c.strategy = Strategy::kDpTimer;
+  points.push_back({"a", a, &tpcds, 3});
+  points.push_back({"b", b, &tpcds, 2});
+  points.push_back({"c", c, &cpdb, 1});
+  const std::vector<AveragedRun> swept = RunConfigSweep(points, 8);
+  ASSERT_EQ(swept.size(), points.size());
+  for (size_t i = 0; i < points.size(); ++i) {
+    SCOPED_TRACE(points[i].label);
+    ExpectAveragedIdentical(
+        RunWorkloadAveragedSerial(points[i].config, *points[i].workload,
+                                  points[i].num_seeds),
+        swept[i]);
+  }
+}
+
+// ---------------------------------------------------------------------------
+// DeploymentFleet: concurrent tenants == standalone engines
+// ---------------------------------------------------------------------------
+
+std::vector<DeploymentFleet::TenantSpec> MixedTenants(
+    const GeneratedWorkload* tpcds, const GeneratedWorkload* cpdb) {
+  IncShrinkConfig t1 = DefaultTpcDsConfig();
+  t1.strategy = Strategy::kDpTimer;
+  IncShrinkConfig t2 = DefaultTpcDsConfig();
+  t2.strategy = Strategy::kDpAnt;
+  t2.eps = 0.8;
+  IncShrinkConfig t3 = DefaultCpdbConfig();
+  t3.strategy = Strategy::kDpTimer;
+  IncShrinkConfig t4 = DefaultTpcDsConfig();
+  t4.strategy = Strategy::kEp;
+  return {{"tpcds-timer", t1, tpcds},
+          {"tpcds-ant", t2, tpcds},
+          {"cpdb-timer", t3, cpdb},
+          {"tpcds-ep", t4, tpcds}};
+}
+
+TEST(DeploymentFleetTest, DerivedSeedsAreDistinct) {
+  for (const uint64_t root : {0ull, 42ull, 0xFEEDFACEull}) {
+    std::vector<uint64_t> seeds;
+    for (size_t i = 0; i < 64; ++i)
+      seeds.push_back(DeriveTenantSeed(root, i));
+    for (size_t i = 0; i < seeds.size(); ++i) {
+      for (size_t j = i + 1; j < seeds.size(); ++j) {
+        EXPECT_NE(seeds[i], seeds[j]) << i << "," << j;
+      }
+    }
+  }
+}
+
+TEST(DeploymentFleetTest, MatchesStandaloneEnginesWithDerivedSeeds) {
+  const GeneratedWorkload tpcds = SmallTpcDs();
+  const GeneratedWorkload cpdb = SmallCpdb();
+  const uint64_t kRoot = 99;
+  DeploymentFleet fleet(MixedTenants(&tpcds, &cpdb),
+                        {kRoot, /*num_threads=*/4});
+  fleet.RunAll();
+  EXPECT_TRUE(fleet.done());
+
+  const std::vector<DeploymentFleet::TenantSpec> specs =
+      MixedTenants(&tpcds, &cpdb);
+  for (size_t i = 0; i < specs.size(); ++i) {
+    SCOPED_TRACE(specs[i].name);
+    IncShrinkConfig cfg = specs[i].config;
+    cfg.seed = DeriveTenantSeed(kRoot, i);
+    EXPECT_EQ(fleet.tenant_seed(i), cfg.seed);
+    Engine engine(cfg);
+    ASSERT_TRUE(
+        engine.Run(specs[i].workload->t1, specs[i].workload->t2).ok());
+    ExpectSummaryIdentical(engine.Summary(), fleet.TenantSummary(i));
+    // The whole observable transcript matches, event for event.
+    EXPECT_EQ(engine.transcript(), fleet.engine(i).transcript());
+    EXPECT_EQ(engine.per_step_real_entries(),
+              fleet.engine(i).per_step_real_entries());
+  }
+}
+
+TEST(DeploymentFleetTest, ThreadCountInvariant) {
+  const GeneratedWorkload tpcds = SmallTpcDs();
+  const GeneratedWorkload cpdb = SmallCpdb();
+  DeploymentFleet ref(MixedTenants(&tpcds, &cpdb), {7, /*num_threads=*/1});
+  ref.RunAll();
+  for (const int threads : {2, 8}) {
+    SCOPED_TRACE("threads=" + std::to_string(threads));
+    DeploymentFleet fleet(MixedTenants(&tpcds, &cpdb), {7, threads});
+    fleet.RunAll();
+    ASSERT_EQ(fleet.num_tenants(), ref.num_tenants());
+    for (size_t i = 0; i < ref.num_tenants(); ++i) {
+      SCOPED_TRACE("tenant " + std::to_string(i));
+      ExpectSummaryIdentical(ref.TenantSummary(i), fleet.TenantSummary(i));
+      EXPECT_EQ(ref.engine(i).transcript(), fleet.engine(i).transcript());
+    }
+  }
+}
+
+TEST(DeploymentFleetTest, StepAllCountsAndRaggedStreams) {
+  // Tenants with different stream lengths: StepAll reports how many are
+  // still live, and AggregateStats counts total tenant-steps.
+  const GeneratedWorkload tpcds = SmallTpcDs();  // 40 steps
+  const GeneratedWorkload cpdb = SmallCpdb();    // 24 steps
+  IncShrinkConfig a = DefaultTpcDsConfig();
+  IncShrinkConfig b = DefaultCpdbConfig();
+  DeploymentFleet fleet({{"long", a, &tpcds}, {"short", b, &cpdb}},
+                        {5, /*num_threads=*/2});
+  size_t rounds = 0;
+  size_t stepped = 0;
+  while (size_t n = fleet.StepAll()) {
+    stepped += n;
+    ++rounds;
+    ASSERT_LE(rounds, 100u);
+  }
+  EXPECT_EQ(rounds, 40u);           // the longer stream bounds the rounds
+  EXPECT_EQ(stepped, 40u + 24u);    // short tenant idles after step 24
+  EXPECT_TRUE(fleet.done());
+  const DeploymentFleet::FleetStats stats = fleet.AggregateStats();
+  EXPECT_EQ(stats.engine_steps, 64u);
+  EXPECT_EQ(stats.rounds, 40u);
+  EXPECT_GT(stats.simulated_mpc_seconds, 0.0);
+  EXPECT_GT(stats.simulated_query_seconds, 0.0);
+}
+
+}  // namespace
+}  // namespace incshrink

@@ -46,4 +46,35 @@ if [ "$fail" -ne 0 ]; then
   echo "Use incshrink::Rng (src/common/rng.h) with an explicit seed instead."
   exit 1
 fi
+
+# Concurrency hygiene (parallel-execution-layer satellite): the machine's
+# worker count and thread-local timing must never be able to steer a
+# simulated result. `thread::hardware_concurrency()` and `std::this_thread`
+# (sleep-based timing, yields, thread-id probes) are therefore confined to
+# the ThreadPool (src/common/thread_pool.*), the only component allowed to
+# ask how many cores exist — everything above it takes an explicit worker
+# count or the INCSHRINK_THREADS override, and produces bit-identical
+# results regardless (tests/parallel_equivalence_test.cc).
+CONCURRENCY_PATTERNS=(
+  'std::this_thread'
+  'this_thread::'
+  'hardware_concurrency'
+)
+
+for pattern in "${CONCURRENCY_PATTERNS[@]}"; do
+  hits=$(grep -rnE "$pattern" src tests bench examples 2>/dev/null \
+         | grep -v 'src/common/thread_pool\.\(h\|cc\)')
+  if [ -n "$hits" ]; then
+    echo "FORBIDDEN concurrency construct outside ThreadPool (pattern: $pattern):"
+    echo "$hits"
+    fail=1
+  fi
+done
+
+if [ "$fail" -ne 0 ]; then
+  echo
+  echo "Route worker-count decisions through incshrink::ThreadPool /"
+  echo "ResolveThreadCount (src/common/thread_pool.h) instead."
+  exit 1
+fi
 echo "OK: no hidden entropy sources found."
