@@ -78,6 +78,16 @@ inline IncShrinkConfig WithStrategy(IncShrinkConfig cfg, Strategy s) {
   return cfg;
 }
 
+/// Sharded-cache variant of a config: K cache shards, each Shrink instance
+/// at an eps/K slice, stepped on `threads` workers (see bench_shard_scaling
+/// and the num_cache_shards docs in src/core/config.h).
+inline IncShrinkConfig WithShards(IncShrinkConfig cfg, uint32_t shards,
+                                  int threads) {
+  cfg.num_cache_shards = shards;
+  cfg.cache_shard_threads = threads;
+  return cfg;
+}
+
 inline void PrintHeader(const char* title) {
   std::printf("==============================================================="
               "=================\n");

@@ -49,7 +49,7 @@ BENCHMARK(BM_JointLaplace);
 
 SharedRows RandomViewRows(Rng* rng, size_t n) {
   SharedRows rows(kViewWidth);
-  uint32_t seq = 0;
+  uint64_t seq = 0;
   for (size_t i = 0; i < n; ++i) {
     if (rng->Bernoulli(0.3)) {
       std::vector<Word> row(kViewWidth, 0);
@@ -119,7 +119,7 @@ void BM_TruncatedSortMergeJoin(benchmark::State& state) {
       t1.AppendSecretRow(EncodeSourceRow(r), &rng);
     for (const auto& r : RandomRecords(&rng, n, 100000))
       t2.AppendSecretRow(EncodeSourceRow(r), &rng);
-    uint32_t seq = 0;
+    uint64_t seq = 0;
     state.ResumeTiming();
     benchmark::DoNotOptimize(
         TruncatedSortMergeJoin(&proto, t1, t2, spec, &seq));
@@ -146,7 +146,7 @@ void BM_TruncatedNestedLoopJoin(benchmark::State& state) {
       row.push_back(2);
       t2.AppendSecretRow(row, &rng);
     }
-    uint32_t seq = 0;
+    uint64_t seq = 0;
     state.ResumeTiming();
     benchmark::DoNotOptimize(TruncatedNestedLoopJoin(
         &proto, &t1, &t2, kSrcWidth, kSrcWidth, spec, &seq));

@@ -33,6 +33,13 @@ Status IncShrinkConfig::Validate() const {
     return Status::InvalidArgument("ANT threshold must be positive");
   if (upload_rows_t1 == 0 || upload_rows_t2 == 0)
     return Status::InvalidArgument("upload batch sizes must be positive");
+  if (num_cache_shards == 0)
+    return Status::InvalidArgument("num_cache_shards must be >= 1");
+  if (num_cache_shards > 256)
+    return Status::InvalidArgument("num_cache_shards above 256 is surely "
+                                   "a configuration error");
+  if (cache_shard_threads < 0)
+    return Status::InvalidArgument("cache_shard_threads must be >= 0");
   for (const UploadPolicyConfig* policy :
        {&upload_policy1, &upload_policy2}) {
     if (policy->kind != UploadPolicyKind::kFixedSize &&

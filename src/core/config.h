@@ -69,7 +69,22 @@ struct IncShrinkConfig {
 
   // --- cache flush (Section 5.2.1) ---
   uint32_t flush_interval = 2000;  ///< f; 0 disables flushing
-  uint32_t flush_size = 15;        ///< s
+  uint32_t flush_size = 15;        ///< s (per shard when sharded)
+
+  // --- secure-cache sharding ---
+  /// Number of independent secure-cache shards. 1 (the default) reproduces
+  /// the unsharded engine bit for bit. With K > 1 the cache splits into K
+  /// shards by the public append-index shard map; each shard runs its own
+  /// Shrink instance at an eps/K budget slice (composed back to exactly
+  /// `eps` by sequential composition) on its own derived protocol
+  /// substream, and the per-shard steps execute concurrently on the
+  /// deployment's ThreadPool with results merged in fixed shard order.
+  /// Flushes and the sDPANT threshold apply per shard.
+  uint32_t num_cache_shards = 1;
+  /// Worker count for the per-shard Shrink fork-join (K > 1 only).
+  /// 0 = INCSHRINK_THREADS override, else hardware concurrency; always
+  /// capped at the shard count. Never affects results, only wall time.
+  int cache_shard_threads = 0;
 
   // --- owner update policy ---
   uint32_t upload_rows_t1 = 8;  ///< C_r for the T1 owner (fixed-size policy)

@@ -33,7 +33,9 @@ Engine::Engine(const IncShrinkConfig& config)
       accountant_(config.eps, config.budget_b, config.omega),
       store1_(kSrcWidth),
       store2_(kSrcWidth),
-      cache_(&proto_),
+      cache_(&proto_, config_.num_cache_shards, config_.eps,
+             static_cast<double>(config_.budget_b), config_.seed,
+             config_.cost_model),
       transform_(&proto_, config_, &accountant_),
       truth_(WindowJoinQuery{config.join.window_lo, config.join.window_hi,
                              config.join.use_window}),
@@ -43,20 +45,53 @@ Engine::Engine(const IncShrinkConfig& config)
       uploader2_(config.upload_policy2, config.upload_rows_t2,
                  config.t2_is_public, config.seed + 202) {
   INCSHRINK_CHECK(config.Validate().ok());
+  // One Shrink instance per shard, each constructed on its shard's protocol
+  // with its eps slice. For K == 1 the single instance lives on the
+  // engine's own protocol with the full eps — exactly the pre-sharding
+  // construction, bit for bit.
+  const std::vector<double>& slices = cache_.shard_eps();
+  shard_configs_.reserve(slices.size());
+  for (const double slice : slices) {
+    IncShrinkConfig shard_cfg = config_;
+    shard_cfg.eps = slice;
+    shard_configs_.push_back(shard_cfg);
+  }
   if (config.strategy == Strategy::kDpTimer) {
-    timer_ = std::make_unique<ShrinkTimer>(&proto_, config_);
+    for (size_t k = 0; k < shard_configs_.size(); ++k) {
+      timers_.push_back(std::make_unique<ShrinkTimer>(cache_.shard_proto(k),
+                                                      shard_configs_[k]));
+    }
   } else if (config.strategy == Strategy::kDpAnt) {
-    ant_ = std::make_unique<ShrinkAnt>(&proto_, config_);
+    for (size_t k = 0; k < shard_configs_.size(); ++k) {
+      ants_.push_back(std::make_unique<ShrinkAnt>(cache_.shard_proto(k),
+                                                  shard_configs_[k]));
+    }
+  }
+  // Only the DP strategies fork-join over shards; EP/OTM materialize
+  // serially and NM never touches the cache, so don't park idle workers.
+  if (cache_.num_shards() > 1 && (!timers_.empty() || !ants_.empty())) {
+    shard_pool_ = std::make_unique<ThreadPool>(static_cast<int>(
+        std::min<size_t>(static_cast<size_t>(ResolveThreadCount(
+                             config_.cache_shard_threads)),
+                         cache_.num_shards())));
   }
 }
 
 uint64_t Engine::MaterializeAll() {
-  const uint64_t rows = cache_.rows()->size();
-  proto_.AccountBytes(rows * kViewWidth * sizeof(Word) * 2);
-  view_.Append(*cache_.rows());
-  cache_.rows()->Clear();
-  cache_.ResetCounter(&proto_);
-  return rows;
+  uint64_t total = 0;
+  for (size_t k = 0; k < cache_.num_shards(); ++k) {
+    SecureCache& shard = cache_.shard(k);
+    const uint64_t rows = shard.rows()->size();
+    proto_.AccountBytes(rows * kViewWidth * sizeof(Word) * 2);
+    view_.Append(*shard.rows());
+    shard.rows()->Clear();
+    // On the shard's own protocol: every write to a shard counter must draw
+    // its share randomness from the shard's derived substream (== &proto_
+    // for the single shard of an unsharded deployment).
+    shard.ResetCounter(cache_.shard_proto(k));
+    total += rows;
+  }
+  return total;
 }
 
 uint64_t Engine::AnswerQuery(double* seconds) {
@@ -142,24 +177,49 @@ Status Engine::Step(const std::vector<LogicalRecord>& new1,
   switch (config_.strategy) {
     case Strategy::kDpTimer:
     case Strategy::kDpAnt: {
-      ShrinkResult sync = timer_ != nullptr
-                              ? timer_->Step(t_, &cache_, &view_)
-                              : ant_->Step(t_, &cache_, &view_);
-      m.shrink_seconds += sync.simulated_seconds;
-      if (sync.fired) {
-        m.synced = true;
-        m.sync_rows = sync.sync_rows;
-        release = {t_, sync.released_size, true};
-        transcript_.push_back(
-            {TranscriptEvent::Kind::kSync, t_, sync.sync_rows});
+      // Per-shard Shrink + flush. Every shard steps on its own protocol
+      // instance into its own staging views, so the K tasks share no
+      // mutable state; with K > 1 they run concurrently on the shard pool.
+      // Merging then walks shards in fixed index order, which makes the
+      // view contents, transcript and metrics bit-identical at any worker
+      // count — and, for K == 1, identical to the unsharded engine.
+      const size_t num = cache_.num_shards();
+      std::vector<ShrinkResult> syncs(num);
+      std::vector<ShrinkResult> flushes(num);
+      std::vector<MaterializedView> staged_sync(num);
+      std::vector<MaterializedView> staged_flush(num);
+      const auto run_shard = [&](size_t k) {
+        SecureCache* shard = &cache_.shard(k);
+        syncs[k] = !timers_.empty()
+                       ? timers_[k]->Step(t_, shard, &staged_sync[k])
+                       : ants_[k]->Step(t_, shard, &staged_sync[k]);
+        flushes[k] = MaybeFlushCache(cache_.shard_proto(k),
+                                     shard_configs_[k], t_, shard,
+                                     &staged_flush[k]);
+      };
+      if (shard_pool_ != nullptr) {
+        shard_pool_->ParallelFor(num, run_shard);
+      } else {
+        run_shard(0);
       }
-      ShrinkResult flush =
-          MaybeFlushCache(&proto_, config_, t_, &cache_, &view_);
-      if (flush.fired) {
-        m.flushed = true;
-        m.shrink_seconds += flush.simulated_seconds;
-        transcript_.push_back(
-            {TranscriptEvent::Kind::kFlush, t_, flush.sync_rows});
+      for (size_t k = 0; k < num; ++k) {
+        m.shrink_seconds += syncs[k].simulated_seconds;
+        if (syncs[k].fired) {
+          m.synced = true;
+          m.sync_rows += syncs[k].sync_rows;
+          release.size += syncs[k].released_size;
+          release.fired = true;
+          view_.Append(staged_sync[k].rows());
+          transcript_.push_back(
+              {TranscriptEvent::Kind::kSync, t_, syncs[k].sync_rows});
+        }
+        if (flushes[k].fired) {
+          m.flushed = true;
+          m.shrink_seconds += flushes[k].simulated_seconds;
+          view_.Append(staged_flush[k].rows());
+          transcript_.push_back(
+              {TranscriptEvent::Kind::kFlush, t_, flushes[k].sync_rows});
+        }
       }
       break;
     }
@@ -252,8 +312,11 @@ SimulatorPublicParams Engine::MakeSimulatorParams() const {
     }
     return cfg.omega * (u1[t - 1] + u2[t - 1]);
   };
+  // The Table-1 simulator models one flush of `flush_size` per interval;
+  // sharded deployments flush per shard, so scale the modelled size.
   pp.flush_interval = config_.flush_interval;
-  pp.flush_size = config_.flush_size;
+  pp.flush_size =
+      static_cast<uint64_t>(config_.flush_size) * cache_.num_shards();
   return pp;
 }
 

@@ -4,6 +4,7 @@
 #include <memory>
 #include <vector>
 
+#include "src/common/thread_pool.h"
 #include "src/core/analyst.h"
 #include "src/core/config.h"
 #include "src/core/metrics.h"
@@ -20,6 +21,7 @@
 #include "src/storage/materialized_view.h"
 #include "src/storage/outsourced_store.h"
 #include "src/storage/secure_cache.h"
+#include "src/storage/sharded_cache.h"
 
 namespace incshrink {
 
@@ -38,6 +40,13 @@ namespace incshrink {
 ///
 /// The engine also logs the observable transcript and the DP releases so
 /// the test suite can replay the Table-1 simulator against the real run.
+///
+/// With `num_cache_shards > 1` the secure cache splits into K shards
+/// (src/storage/sharded_cache.h), each running its own Shrink instance at
+/// an eps/K budget slice on its own protocol substream; the per-shard
+/// steps execute concurrently on a deployment-local ThreadPool and merge
+/// in fixed shard order, so results are bit-identical at any thread count
+/// (and, at K = 1, identical to the unsharded engine).
 class Engine {
  public:
   explicit Engine(const IncShrinkConfig& config);
@@ -65,7 +74,15 @@ class Engine {
   Protocol2PC* proto() { return &proto_; }
   uint64_t current_step() const { return t_; }
   const MaterializedView& view() const { return view_; }
-  const SecureCache& cache() const { return cache_; }
+  /// Shard 0 of the secure cache — the whole cache in the (default)
+  /// unsharded deployment. Prefer sharded_cache() when K may exceed 1.
+  const SecureCache& cache() const { return cache_.shard(0); }
+  const ShardedSecureCache& sharded_cache() const { return cache_; }
+  /// Per-shard view-update budget slices; SequentialComposition over them
+  /// equals config().eps exactly (== {eps} when unsharded).
+  const std::vector<double>& shard_epsilons() const {
+    return cache_.shard_eps();
+  }
   const OutsourcedTable& store1() const { return store1_; }
   const OutsourcedTable& store2() const { return store2_; }
 
@@ -109,11 +126,18 @@ class Engine {
   PrivacyAccountant accountant_;
   OutsourcedTable store1_;
   OutsourcedTable store2_;
-  SecureCache cache_;
+  ShardedSecureCache cache_;
   MaterializedView view_;
   TransformProtocol transform_;
-  std::unique_ptr<ShrinkTimer> timer_;
-  std::unique_ptr<ShrinkAnt> ant_;
+  /// Per-shard Shrink instances (one entry per shard for the strategy in
+  /// use; both empty for EP/OTM/NM). Shard k steps on cache_.shard_proto(k)
+  /// with the eps slice baked into shard_configs_[k].
+  std::vector<std::unique_ptr<ShrinkTimer>> timers_;
+  std::vector<std::unique_ptr<ShrinkAnt>> ants_;
+  std::vector<IncShrinkConfig> shard_configs_;
+  /// Fork-join pool for the per-shard Shrink phase; null when K == 1 (the
+  /// unsharded engine never spawns a thread).
+  std::unique_ptr<ThreadPool> shard_pool_;
   WindowJoinCounter truth_;
   Rng owner_rng_;
   OwnerUploader uploader1_;

@@ -137,6 +137,12 @@ ShrinkResult MaybeFlushCache(Protocol2PC* proto,
   SharedRows fetched = CacheFlush(proto, cache->rows(), config.flush_size);
   result.sync_rows = fetched.size();
   view->Append(fetched);
+  // CacheFlush recycles the entire remaining array, so no cached real entry
+  // survives and the secret-shared cardinality counter must drop to zero
+  // with it. Leaving it standing made every post-flush DP release re-count
+  // rows that were already synchronized (or recycled) and fetch too many
+  // entries from the rebuilt cache.
+  cache->ResetCounter(proto);
   result.fired = true;
   result.simulated_seconds = proto->SimulatedSecondsSince(before);
   return result;

@@ -70,7 +70,10 @@ class ShrinkAnt {
 
 /// \brief Independent cache flush (paper Section 5.2.1): every
 /// `flush_interval` steps, fetch a fixed `flush_size` prefix of the sorted
-/// cache into the view and recycle the rest. Used by both DP protocols.
+/// cache into the view, recycle the rest, and reset the cardinality counter
+/// (the recycled array holds no real entries, so c must return to 0 or the
+/// next DP release over-counts already-synchronized rows). Used by both DP
+/// protocols.
 ShrinkResult MaybeFlushCache(Protocol2PC* proto,
                              const IncShrinkConfig& config, uint64_t t,
                              SecureCache* cache, MaterializedView* view);

@@ -61,6 +61,24 @@ Status TransformProtocol::ChargeBatch(const SharedRows& batch,
 
 Result<TransformProtocol::StepResult> TransformProtocol::StepFilter(
     uint64_t t, const OutsourcedTable& store1, SecureCache* cache) {
+  return StepFilterImpl(t, store1, cache->seq(),
+                        [this, cache](const SharedRows& block, uint32_t real) {
+                          cache->AddToCounter(proto_, real);
+                          cache->Append(block);
+                        });
+}
+
+Result<TransformProtocol::StepResult> TransformProtocol::StepFilter(
+    uint64_t t, const OutsourcedTable& store1, ShardedSecureCache* cache) {
+  return StepFilterImpl(t, store1, cache->seq(),
+                        [this, cache](const SharedRows& block, uint32_t real) {
+                          cache->AppendTransformBlock(proto_, block, real);
+                        });
+}
+
+Result<TransformProtocol::StepResult> TransformProtocol::StepFilterImpl(
+    uint64_t t, const OutsourcedTable& store1, uint64_t* seq,
+    const CommitFn& commit) {
   INCSHRINK_CHECK_GE(t, 1u);
   INCSHRINK_CHECK_EQ(store1.steps(), t);
   const CircuitStats before = proto_->Snapshot();
@@ -83,7 +101,7 @@ Result<TransformProtocol::StepResult> TransformProtocol::StepFilter(
                       row[kSrcPayloadCol] <= config_.filter.hi;
     std::vector<Word> view(kViewWidth);
     view[kViewIsViewCol] = keep ? 1 : 0;
-    view[kViewSortKeyCol] = MakeCacheSortKey(keep, (*cache->seq())++);
+    view[kViewSortKeyCol] = MakeCacheSortKey(keep, (*seq)++);
     if (keep) {
       view[kViewKeyCol] = row[kSrcKeyCol];
       view[kViewDate1Col] = row[kSrcDateCol];
@@ -100,9 +118,8 @@ Result<TransformProtocol::StepResult> TransformProtocol::StepFilter(
     out.AppendSecretRow(view, rng);
   }
 
-  cache->AddToCounter(proto_, real_entries);
   const uint64_t appended = out.size();
-  cache->Append(out);
+  commit(out, real_entries);
 
   StepResult result;
   result.real_entries = real_entries;
@@ -117,6 +134,28 @@ Result<TransformProtocol::StepResult> TransformProtocol::Step(
   if (config_.view_kind == ViewKind::kFilter) {
     return StepFilter(t, store1, cache);
   }
+  return StepJoin(t, store1, store2, cache->seq(),
+                  [this, cache](const SharedRows& block, uint32_t real) {
+                    cache->AddToCounter(proto_, real);
+                    cache->Append(block);
+                  });
+}
+
+Result<TransformProtocol::StepResult> TransformProtocol::Step(
+    uint64_t t, const OutsourcedTable& store1, const OutsourcedTable& store2,
+    ShardedSecureCache* cache) {
+  if (config_.view_kind == ViewKind::kFilter) {
+    return StepFilter(t, store1, cache);
+  }
+  return StepJoin(t, store1, store2, cache->seq(),
+                  [this, cache](const SharedRows& block, uint32_t real) {
+                    cache->AppendTransformBlock(proto_, block, real);
+                  });
+}
+
+Result<TransformProtocol::StepResult> TransformProtocol::StepJoin(
+    uint64_t t, const OutsourcedTable& store1, const OutsourcedTable& store2,
+    uint64_t* seq, const CommitFn& commit) {
   INCSHRINK_CHECK_GE(t, 1u);
   INCSHRINK_CHECK_EQ(store1.steps(), t);
   INCSHRINK_CHECK_EQ(store2.steps(), t);
@@ -163,12 +202,12 @@ Result<TransformProtocol::StepResult> TransformProtocol::Step(
 
   if (config_.op == TransformOperator::kSortMergeJoin) {
     JoinResult a = TruncatedSortMergeJoin(proto_, new1, t2_in, spec,
-                                          cache->seq(), &usage);
+                                          seq, &usage);
     real_entries += a.real_count;
     padded.AppendAll(a.rows);
     if (old1.size() > 0 && new2.size() > 0) {
       JoinResult b = TruncatedSortMergeJoin(proto_, old1, new2, spec,
-                                            cache->seq(), &usage);
+                                            seq, &usage);
       real_entries += b.real_count;
       padded.AppendAll(b.rows);
     }
@@ -211,7 +250,7 @@ Result<TransformProtocol::StepResult> TransformProtocol::Step(
       SharedRows inner = with_budget(t2_in, spec.cap_t2);
       JoinResult a = TruncatedNestedLoopJoin(proto_, &outer, &inner,
                                              kSrcWidth, kSrcWidth, spec,
-                                             cache->seq());
+                                             seq);
       real_entries += a.real_count;
       padded.AppendAll(a.rows);
       harvest_usage(outer, spec.cap_t1);
@@ -222,7 +261,7 @@ Result<TransformProtocol::StepResult> TransformProtocol::Step(
       SharedRows inner = with_budget(new2, spec.cap_t2);
       JoinResult b = TruncatedNestedLoopJoin(proto_, &outer, &inner,
                                              kSrcWidth, kSrcWidth, spec,
-                                             cache->seq());
+                                             seq);
       real_entries += b.real_count;
       padded.AppendAll(b.rows);
       harvest_usage(outer, spec.cap_t1);
@@ -260,7 +299,7 @@ Result<TransformProtocol::StepResult> TransformProtocol::Step(
     // Pad up to the public bound so the cache-append size is a deterministic
     // function of public parameters (transcript indistinguishability).
     while (compacted.size() < bound) {
-      AppendDummyViewRow(&compacted, proto_->internal_rng(), cache->seq());
+      AppendDummyViewRow(&compacted, proto_->internal_rng(), seq);
     }
   }
 
@@ -273,9 +312,8 @@ Result<TransformProtocol::StepResult> TransformProtocol::Step(
   }
 
   // Alg. 1 lines 4-7: update the shared counter, append to the cache.
-  cache->AddToCounter(proto_, real_entries);
   const uint64_t appended = compacted.size();
-  cache->Append(compacted);
+  commit(compacted, real_entries);
 
   StepResult result;
   result.real_entries = real_entries;

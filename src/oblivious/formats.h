@@ -42,14 +42,24 @@ inline constexpr size_t kViewWidth = 7;
 /// by this key realizes the paper's Figure-3 cache read: all real tuples
 /// move ahead of all dummies, and among real tuples older entries (smaller
 /// insertion sequence) come first, so deferred data is synchronized FIFO.
-inline Word MakeCacheSortKey(bool is_view, uint32_t seq) {
-  const Word fifo = 0x7FFFFFFFu - (seq & 0x7FFFFFFFu);
-  return (is_view ? 0x80000000u : 0u) | fifo;
+///
+/// The insertion sequence is 64-bit so the counter itself never wraps; a
+/// dummy row's relative order is irrelevant, so dummies take the single
+/// reserved key 0 and real rows map onto the full remaining 32-bit range
+/// [1, 2^32 - 1], strictly decreasing in `seq`. Real rows therefore always
+/// precede dummies, and FIFO among real rows is exact as long as fewer than
+/// 2^32 - 1 rows coexist in (or are appended across the lifetime of) one
+/// cache between full drains — the key cycles after 2^32 - 1 insertions.
+/// (The previous uint32_t sequence both wrapped at 2^31 via its mask and
+/// aliased outright once the counter overflowed at 2^32.)
+inline Word MakeCacheSortKey(bool is_view, uint64_t seq) {
+  if (!is_view) return 0;
+  return 0xFFFFFFFFu - static_cast<Word>(seq % 0xFFFFFFFFull);
 }
 
 /// Appends a dummy (isView = 0) view-format row with random payload; used to
 /// pad transform outputs up to their public size bound.
-inline void AppendDummyViewRow(SharedRows* rows, Rng* rng, uint32_t* seq) {
+inline void AppendDummyViewRow(SharedRows* rows, Rng* rng, uint64_t* seq) {
   std::vector<Word> row(kViewWidth);
   row[kViewIsViewCol] = 0;
   row[kViewSortKeyCol] = MakeCacheSortKey(false, (*seq)++);

@@ -32,7 +32,7 @@ bool WindowOk(const JoinSpec& spec, Word date1, Word date2) {
 /// dummies carry random payload. Advances the FIFO sequence counter.
 void EmitViewRow(Protocol2PC* proto, SharedRows* out, bool is_view, Word key,
                  Word date1, Word date2, Word rid1, Word rid2,
-                 uint32_t* seq) {
+                 uint64_t* seq) {
   Rng* rng = proto->internal_rng();
   std::vector<Word> row(kViewWidth);
   row[kViewIsViewCol] = is_view ? 1 : 0;
@@ -57,7 +57,7 @@ void EmitViewRow(Protocol2PC* proto, SharedRows* out, bool is_view, Word key,
 
 JoinResult TruncatedSortMergeJoin(Protocol2PC* proto, const SharedRows& t1,
                                   const SharedRows& t2, const JoinSpec& spec,
-                                  uint32_t* seq, ContributionUsage* usage) {
+                                  uint64_t* seq, ContributionUsage* usage) {
   ContributionUsage local_usage;
   if (usage == nullptr) usage = &local_usage;
   INCSHRINK_CHECK_GE(t1.width(), kSrcWidth);
@@ -156,7 +156,7 @@ JoinResult TruncatedSortMergeJoin(Protocol2PC* proto, const SharedRows& t1,
 JoinResult TruncatedNestedLoopJoin(Protocol2PC* proto, SharedRows* t1,
                                    SharedRows* t2, size_t budget_col1,
                                    size_t budget_col2, const JoinSpec& spec,
-                                   uint32_t* seq) {
+                                   uint64_t* seq) {
   INCSHRINK_CHECK_LT(budget_col1, t1->width());
   INCSHRINK_CHECK_LT(budget_col2, t2->width());
   Rng* rng = proto->internal_rng();
@@ -174,7 +174,7 @@ JoinResult TruncatedNestedLoopJoin(Protocol2PC* proto, SharedRows* t1,
   for (size_t i = 0; i < n1; ++i) {
     std::vector<Word> outer = t1->RecoverRow(i);
     SharedRows block(kViewWidth);  // o_i in Algorithm 4
-    uint32_t block_seq = 0;        // temporary in-block ordering
+    uint64_t block_seq = 0;        // temporary in-block ordering
     for (size_t j = 0; j < n2; ++j) {
       std::vector<Word> inner = t2->RecoverRow(j);
       const bool budgets_ok =

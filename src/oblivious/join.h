@@ -68,7 +68,7 @@ struct JoinResult {
 /// standalone call.
 JoinResult TruncatedSortMergeJoin(Protocol2PC* proto, const SharedRows& t1,
                                   const SharedRows& t2, const JoinSpec& spec,
-                                  uint32_t* seq,
+                                  uint64_t* seq,
                                   ContributionUsage* usage = nullptr);
 
 /// \brief Truncated oblivious nested-loop join (paper Algorithm 4).
@@ -85,7 +85,7 @@ JoinResult TruncatedSortMergeJoin(Protocol2PC* proto, const SharedRows& t1,
 JoinResult TruncatedNestedLoopJoin(Protocol2PC* proto, SharedRows* t1,
                                    SharedRows* t2, size_t budget_col1,
                                    size_t budget_col2, const JoinSpec& spec,
-                                   uint32_t* seq);
+                                   uint64_t* seq);
 
 /// \brief Full (untruncated) oblivious join COUNT — the query operator of
 /// the non-materialized (NM) baseline, i.e. the standard SOGDB that re-joins

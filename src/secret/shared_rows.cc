@@ -25,6 +25,17 @@ void SharedRows::AppendSharedRow(const std::vector<Word>& share0,
   ++rows_;
 }
 
+void SharedRows::AppendRowFrom(const SharedRows& src, size_t row) {
+  INCSHRINK_CHECK_EQ(src.width_, width_);
+  INCSHRINK_CHECK_LT(row, src.rows_);
+  const size_t base = row * width_;
+  shares0_.insert(shares0_.end(), src.shares0_.begin() + base,
+                  src.shares0_.begin() + base + width_);
+  shares1_.insert(shares1_.end(), src.shares1_.begin() + base,
+                  src.shares1_.begin() + base + width_);
+  ++rows_;
+}
+
 void SharedRows::AppendAll(const SharedRows& other) {
   INCSHRINK_CHECK_EQ(other.width_, width_);
   shares0_.insert(shares0_.end(), other.shares0_.begin(),

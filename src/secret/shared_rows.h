@@ -37,6 +37,10 @@ class SharedRows {
   void AppendSharedRow(const std::vector<Word>& share0,
                        const std::vector<Word>& share1);
 
+  /// Appends a copy of row `row` of `src` (widths must match) straight from
+  /// its share arrays — no per-row temporaries.
+  void AppendRowFrom(const SharedRows& src, size_t row);
+
   /// Appends all rows of `other` (widths must match).
   void AppendAll(const SharedRows& other);
 

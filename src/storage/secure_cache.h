@@ -45,12 +45,14 @@ class SecureCache {
   void ResetCounter(Protocol2PC* proto) { counter_ = proto->FreshShare(0); }
 
   /// Monotone insertion sequence used to build FIFO cache sort keys.
-  uint32_t* seq() { return &seq_; }
+  /// 64-bit end-to-end so long runs can never wrap the counter itself (see
+  /// MakeCacheSortKey for the residual 32-bit key-cycle bound).
+  uint64_t* seq() { return &seq_; }
 
  private:
   SharedRows rows_;
   WordShares counter_;
-  uint32_t seq_ = 0;
+  uint64_t seq_ = 0;
 };
 
 }  // namespace incshrink

@@ -95,7 +95,7 @@ TEST(BandedWindowTest, JoinRespectsLowerBound) {
   t2.AppendSecretRow(EncodeSourceRow({1, 3, 9, 105, 0}), &rng);
   t2.AppendSecretRow(EncodeSourceRow({1, 4, 9, 109, 0}), &rng);
   JoinSpec spec{3, 7, true, 5, true, true};  // band [3, 7]
-  uint32_t seq = 0;
+  uint64_t seq = 0;
   const JoinResult r = TruncatedSortMergeJoin(&proto, t1, t2, spec, &seq);
   EXPECT_EQ(r.real_count, 1u);
   // The surviving pair is the delta-5 one.
@@ -117,7 +117,7 @@ TEST(BandedWindowTest, NoWindowJoinsEverything) {
   t1.AppendSecretRow(EncodeSourceRow({1, 1, 9, 1, 0}), &rng);
   t2.AppendSecretRow(EncodeSourceRow({1, 2, 9, 4000000000u, 0}), &rng);
   JoinSpec spec{0, 10, /*use_window=*/false, 1, true, true};
-  uint32_t seq = 0;
+  uint64_t seq = 0;
   EXPECT_EQ(TruncatedSortMergeJoin(&proto, t1, t2, spec, &seq).real_count,
             1u);
 }

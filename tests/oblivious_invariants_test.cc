@@ -136,7 +136,7 @@ TEST_P(JoinInvariantsTest, SortMergeJoinTraceIndependentOfData) {
     Rng rng(seed + 2);
     SharedRows t1 = MakeSourceRows(kN1, density, &rng);
     SharedRows t2 = MakeSourceRows(kN2, density, &rng);
-    uint32_t seq = 0;
+    uint64_t seq = 0;
     JoinResult res = TruncatedSortMergeJoin(&proto, t1, t2, spec, &seq);
     return TraceResult{res.rows.size(), proto.stats()};
   };
@@ -174,7 +174,7 @@ TEST_P(JoinInvariantsTest, NestedLoopJoinTraceIndependentOfData) {
     };
     fill(&t1, kN1);
     fill(&t2, kN2);
-    uint32_t seq = 0;
+    uint64_t seq = 0;
     JoinResult res = TruncatedNestedLoopJoin(&proto, &t1, &t2, kSrcWidth,
                                              kSrcWidth, spec, &seq);
     return TraceResult{res.rows.size(), proto.stats()};
@@ -201,7 +201,7 @@ TEST(ObliviousInvariantsTest, CacheReadTraceIndependentOfData) {
     Protocol2PC proto(&s0, &s1, CostModel::Free());
     Rng rng(seed + 2);
     SharedRows cache(kViewWidth);
-    uint32_t seq = 0;
+    uint64_t seq = 0;
     for (size_t i = 0; i < kCache; ++i) {
       const bool real = rng.Bernoulli(density);
       std::vector<Word> row(kViewWidth, 0);

@@ -175,7 +175,7 @@ TEST_F(ObliviousTest, SmjBasicJoin) {
   SharedRows s1 = EncodeTable(&rng_, t1);
   SharedRows s2 = EncodeTable(&rng_, t2);
   JoinSpec spec{0, 10, true, 1, true, true};
-  uint32_t seq = 0;
+  uint64_t seq = 0;
   JoinResult r = TruncatedSortMergeJoin(&proto_, s1, s2, spec, &seq);
   EXPECT_EQ(r.real_count, 1u);  // only key 100 matches within window
   EXPECT_EQ(r.rows.size(), spec.omega * (t1.size() + t2.size()));
@@ -191,7 +191,7 @@ TEST_F(ObliviousTest, SmjRespectsWindow) {
   SharedRows s1 = EncodeTable(&rng_, t1);
   SharedRows s2 = EncodeTable(&rng_, t2);
   JoinSpec spec{0, 10, true, 5, true, true};
-  uint32_t seq = 0;
+  uint64_t seq = 0;
   JoinResult r = TruncatedSortMergeJoin(&proto_, s1, s2, spec, &seq);
   EXPECT_EQ(r.real_count, 1u);
 }
@@ -204,7 +204,7 @@ TEST_F(ObliviousTest, SmjTruncatesContributions) {
   SharedRows s1 = EncodeTable(&rng_, t1);
   SharedRows s2 = EncodeTable(&rng_, t2);
   JoinSpec spec{0, 10, true, 2, true, true};
-  uint32_t seq = 0;
+  uint64_t seq = 0;
   JoinResult r = TruncatedSortMergeJoin(&proto_, s1, s2, spec, &seq);
   EXPECT_EQ(r.real_count, 2u);
   EXPECT_EQ(r.rows.size(), 2u * 6u);
@@ -218,7 +218,7 @@ TEST_F(ObliviousTest, SmjUncappedPublicSide) {
   SharedRows s1 = EncodeTable(&rng_, t1);
   SharedRows s2 = EncodeTable(&rng_, t2);
   JoinSpec spec{0, 10, true, 2, true, false};
-  uint32_t seq = 0;
+  uint64_t seq = 0;
   JoinResult r = TruncatedSortMergeJoin(&proto_, s1, s2, spec, &seq);
   // omega slots per access still bound the per-access output: 2 pairs.
   EXPECT_EQ(r.real_count, 2u);
@@ -230,7 +230,7 @@ TEST_F(ObliviousTest, SmjIgnoresDummyRows) {
   SharedRows s1 = EncodeTable(&rng_, t1, /*pad_to=*/6);
   SharedRows s2 = EncodeTable(&rng_, t2, /*pad_to=*/6);
   JoinSpec spec{0, 10, true, 1, true, true};
-  uint32_t seq = 0;
+  uint64_t seq = 0;
   JoinResult r = TruncatedSortMergeJoin(&proto_, s1, s2, spec, &seq);
   EXPECT_EQ(r.real_count, 1u);
   EXPECT_EQ(r.rows.size(), 12u);
@@ -242,7 +242,7 @@ TEST_F(ObliviousTest, SmjViewRowsCarryJoinAttributes) {
   SharedRows s1 = EncodeTable(&rng_, t1);
   SharedRows s2 = EncodeTable(&rng_, t2);
   JoinSpec spec{0, 10, true, 1, true, true};
-  uint32_t seq = 0;
+  uint64_t seq = 0;
   JoinResult r = TruncatedSortMergeJoin(&proto_, s1, s2, spec, &seq);
   bool found = false;
   for (const auto& row : RecoverAll(r.rows)) {
@@ -277,7 +277,7 @@ TEST_P(SmjRandomTest, MatchesReferenceSemantics) {
     SharedRows sh1 = EncodeTable(&rng, t1);
     SharedRows sh2 = EncodeTable(&rng, t2);
     JoinSpec spec{0, 5, true, omega, true, true};
-    uint32_t seq = 0;
+    uint64_t seq = 0;
     JoinResult r = TruncatedSortMergeJoin(&proto, sh1, sh2, spec, &seq);
 
     std::vector<std::vector<Word>> p1, p2;
@@ -315,7 +315,7 @@ TEST(SmjObliviousnessTest, TraceAndOutputSizeDataIndependent) {
     SharedRows sh1 = EncodeTable(&rng, t1);
     SharedRows sh2 = EncodeTable(&rng, t2);
     JoinSpec spec{0, 10, true, 2, true, true};
-    uint32_t seq = 0;
+    uint64_t seq = 0;
     const CircuitStats before = proto.Snapshot();
     JoinResult r = TruncatedSortMergeJoin(&proto, sh1, sh2, spec, &seq);
     traces[variant] = proto.StatsSince(before);
@@ -347,7 +347,7 @@ TEST_F(ObliviousTest, NljBasicJoinAndOutputSize) {
   SharedRows s1 = EncodeWithBudget(&rng_, t1, 5);
   SharedRows s2 = EncodeWithBudget(&rng_, t2, 5);
   JoinSpec spec{0, 10, true, 2, true, true};
-  uint32_t seq = 0;
+  uint64_t seq = 0;
   JoinResult r = TruncatedNestedLoopJoin(&proto_, &s1, &s2, kSrcWidth,
                                          kSrcWidth, spec, &seq);
   EXPECT_EQ(r.real_count, 1u);
@@ -361,7 +361,7 @@ TEST_F(ObliviousTest, NljConsumesBudgetsInPlace) {
   SharedRows s1 = EncodeWithBudget(&rng_, t1, 3);  // budget 3 < 4 matches
   SharedRows s2 = EncodeWithBudget(&rng_, t2, 9);
   JoinSpec spec{0, 10, true, 10, true, true};
-  uint32_t seq = 0;
+  uint64_t seq = 0;
   JoinResult r = TruncatedNestedLoopJoin(&proto_, &s1, &s2, kSrcWidth,
                                          kSrcWidth, spec, &seq);
   EXPECT_EQ(r.real_count, 3u);  // limited by T1 budget
@@ -380,7 +380,7 @@ TEST_F(ObliviousTest, NljOmegaTruncatesPerOuterBlock) {
   SharedRows s1 = EncodeWithBudget(&rng_, t1, 100);
   SharedRows s2 = EncodeWithBudget(&rng_, t2, 100);
   JoinSpec spec{0, 10, true, 2, true, true};
-  uint32_t seq = 0;
+  uint64_t seq = 0;
   JoinResult r = TruncatedNestedLoopJoin(&proto_, &s1, &s2, kSrcWidth,
                                          kSrcWidth, spec, &seq);
   // Block sorted and truncated to omega = 2 entries.
@@ -417,7 +417,7 @@ TEST_F(ObliviousTest, FullJoinCountMatchesPlaintext) {
 
 SharedRows MakeCacheRows(Rng* rng, const std::vector<bool>& real_flags) {
   SharedRows rows(kViewWidth);
-  uint32_t seq = 0;
+  uint64_t seq = 0;
   for (bool real : real_flags) {
     std::vector<Word> row(kViewWidth);
     row[kViewIsViewCol] = real ? 1 : 0;

@@ -109,7 +109,7 @@ TEST_P(CacheConservationTest, ReadsConserveRealRows) {
   Rng rng(seed + 2);
 
   SharedRows cache(kViewWidth);
-  uint32_t seq = 0;
+  uint64_t seq = 0;
   uint32_t total_real = 0;
   for (int i = 0; i < 120; ++i) {
     const bool real = rng.Bernoulli(0.35);
@@ -168,7 +168,7 @@ TEST_P(JoinPropertyTest, OutputSizeAndCountBounds) {
   }
 
   JoinSpec spec{0, 10, true, omega, true, true};
-  uint32_t seq = 0;
+  uint64_t seq = 0;
   const JoinResult r = TruncatedSortMergeJoin(&proto, t1, t2, spec, &seq);
 
   // Output size is the public formula, always.
@@ -209,7 +209,7 @@ TEST_P(JoinPropertyTest, CountMonotoneInOmega) {
     for (const auto& r : recs2)
       t2.AppendSecretRow(EncodeSourceRow(r), &rng);
     JoinSpec spec{0, 10, true, w, true, true};
-    uint32_t seq = 0;
+    uint64_t seq = 0;
     return TruncatedSortMergeJoin(&proto, t1, t2, spec, &seq).real_count;
   };
   EXPECT_LE(run(omega), run(omega + 1));

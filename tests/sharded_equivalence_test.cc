@@ -1,0 +1,268 @@
+// Sharded-cache equivalence suite (extends the parallel_equivalence_test
+// pattern to sharding *inside* one deployment):
+//
+//   * K == 1 must be the unsharded engine bit for bit (the golden-transcript
+//     suite pins this against checked-in baselines; here we additionally
+//     verify the thread knob is inert and the budget slice is the whole
+//     eps);
+//   * K in {2, 4} must produce bit-identical summaries AND transcripts at
+//     1 / 2 / 8 shard threads, for all three Shrink strategies;
+//   * the per-shard budget slices must sequentially compose to exactly the
+//     configured eps, and the per-shard counters must keep the Alg.-1
+//     conservation invariant shard by shard.
+//
+// Run under the TSan CI job together with the parallel/determinism suites.
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "src/core/engine.h"
+#include "src/core/fleet.h"
+#include "src/dp/composition.h"
+#include "src/oblivious/cache_ops.h"
+#include "src/storage/sharded_cache.h"
+#include "src/workload/generators.h"
+
+namespace incshrink {
+namespace {
+
+void ExpectStatIdentical(const RunningStat& a, const RunningStat& b) {
+  EXPECT_EQ(a.count(), b.count());
+  EXPECT_EQ(a.mean(), b.mean());
+  EXPECT_EQ(a.variance(), b.variance());
+  EXPECT_EQ(a.min(), b.min());
+  EXPECT_EQ(a.max(), b.max());
+  EXPECT_EQ(a.sum(), b.sum());
+}
+
+void ExpectSummaryIdentical(const RunSummary& a, const RunSummary& b) {
+  ExpectStatIdentical(a.l1_error, b.l1_error);
+  ExpectStatIdentical(a.relative_error, b.relative_error);
+  ExpectStatIdentical(a.true_count_stat, b.true_count_stat);
+  ExpectStatIdentical(a.qet_seconds, b.qet_seconds);
+  ExpectStatIdentical(a.transform_seconds, b.transform_seconds);
+  ExpectStatIdentical(a.shrink_seconds, b.shrink_seconds);
+  EXPECT_EQ(a.total_mpc_seconds, b.total_mpc_seconds);
+  EXPECT_EQ(a.total_query_seconds, b.total_query_seconds);
+  EXPECT_EQ(a.final_view_mb, b.final_view_mb);
+  EXPECT_EQ(a.final_view_rows, b.final_view_rows);
+  EXPECT_EQ(a.final_cache_rows, b.final_cache_rows);
+  EXPECT_EQ(a.updates, b.updates);
+  EXPECT_EQ(a.flushes, b.flushes);
+  EXPECT_EQ(a.steps, b.steps);
+  EXPECT_EQ(a.total_real_entries_cached, b.total_real_entries_cached);
+  EXPECT_EQ(a.final_true_count, b.final_true_count);
+}
+
+void ExpectEngineIdentical(const Engine& a, const Engine& b) {
+  ExpectSummaryIdentical(a.Summary(), b.Summary());
+  ASSERT_EQ(a.transcript().size(), b.transcript().size());
+  for (size_t i = 0; i < a.transcript().size(); ++i) {
+    EXPECT_EQ(a.transcript()[i], b.transcript()[i]) << "event " << i;
+  }
+  ASSERT_EQ(a.releases().size(), b.releases().size());
+  for (size_t i = 0; i < a.releases().size(); ++i) {
+    EXPECT_EQ(a.releases()[i].t, b.releases()[i].t);
+    EXPECT_EQ(a.releases()[i].size, b.releases()[i].size);
+    EXPECT_EQ(a.releases()[i].fired, b.releases()[i].fired);
+  }
+}
+
+GeneratedWorkload SmallTpcDs() {
+  TpcDsParams p;
+  p.steps = 40;
+  p.seed = 21;
+  return GenerateTpcDs(p);
+}
+
+IncShrinkConfig ShardTestConfig(Strategy strategy, uint32_t shards,
+                                int threads) {
+  IncShrinkConfig cfg = DefaultTpcDsConfig();
+  cfg.strategy = strategy;
+  cfg.ant_theta = 8;         // low enough that sharded ANT counters fire
+  cfg.flush_interval = 16;   // exercise the sharded flush merge
+  cfg.num_cache_shards = shards;
+  cfg.cache_shard_threads = threads;
+  return cfg;
+}
+
+// ---------------------------------------------------------------------------
+// Shard map and seed derivation
+// ---------------------------------------------------------------------------
+
+TEST(ShardMapTest, DerivedShardSeedsDistinctAndDisjointFromTenantSeeds) {
+  for (const uint64_t seed : {0ull, 42ull, 0xFEEDFACEull}) {
+    std::vector<uint64_t> all;
+    for (size_t k = 0; k < 16; ++k) {
+      all.push_back(DeriveShardSeed(seed, k));
+      all.push_back(DeriveTenantSeed(seed, k));  // salted streams: no alias
+    }
+    for (size_t i = 0; i < all.size(); ++i) {
+      for (size_t j = i + 1; j < all.size(); ++j) {
+        EXPECT_NE(all[i], all[j]) << i << "," << j;
+      }
+    }
+  }
+}
+
+TEST(ShardMapTest, AppendIndexRoutingIsDeterministicAndCoversAllShards) {
+  for (const size_t shards : {1u, 2u, 4u, 7u}) {
+    std::vector<uint64_t> hits(shards, 0);
+    for (uint64_t idx = 0; idx < 4000; ++idx) {
+      const size_t k = ShardOfAppendIndex(idx, shards);
+      ASSERT_LT(k, shards);
+      EXPECT_EQ(k, ShardOfAppendIndex(idx, shards));  // pure function
+      ++hits[k];
+    }
+    for (size_t k = 0; k < shards; ++k) {
+      // splitmix64 spreads consecutive indices near-uniformly.
+      EXPECT_GT(hits[k], 4000 / shards / 2) << "shard " << k;
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Budget split: sequential composition reproduces the configured eps exactly
+// ---------------------------------------------------------------------------
+
+TEST(ShardBudgetTest, SlicesComposeToConfiguredEpsExactly) {
+  for (const double eps : {1.5, 1.0, 0.3, 7.25}) {
+    for (const size_t shards : {1u, 2u, 3u, 4u, 5u, 8u}) {
+      const std::vector<double> slices =
+          SplitShardBudget(eps, shards, /*sensitivity=*/10, /*releases=*/1);
+      ASSERT_EQ(slices.size(), shards);
+      for (const double s : slices) EXPECT_GT(s, 0.0);
+      EXPECT_EQ(SequentialComposition(slices), eps)
+          << "eps " << eps << " shards " << shards;
+    }
+  }
+  // The unsharded split is the identity — not merely close to it.
+  EXPECT_EQ(SplitShardBudget(1.5, 1, 10, 1), std::vector<double>{1.5});
+}
+
+TEST(ShardBudgetTest, EngineExposesComposedSlices) {
+  const GeneratedWorkload w = SmallTpcDs();
+  for (const uint32_t shards : {1u, 4u}) {
+    const IncShrinkConfig cfg =
+        ShardTestConfig(Strategy::kDpTimer, shards, 1);
+    Engine engine(cfg);
+    ASSERT_TRUE(engine.Run(w.t1, w.t2).ok());
+    ASSERT_EQ(engine.shard_epsilons().size(), shards);
+    EXPECT_EQ(SequentialComposition(engine.shard_epsilons()), cfg.eps);
+    // The owner-side composition story is untouched by sharding.
+    EXPECT_EQ(engine.ComposedEpsilon(), cfg.eps);
+  }
+}
+
+// ---------------------------------------------------------------------------
+// K == 1: the thread knob must be completely inert
+// ---------------------------------------------------------------------------
+
+TEST(ShardedEquivalenceTest, UnshardedEngineIgnoresThreadKnob) {
+  const GeneratedWorkload w = SmallTpcDs();
+  for (const Strategy strategy :
+       {Strategy::kDpTimer, Strategy::kDpAnt, Strategy::kEp}) {
+    SCOPED_TRACE(StrategyName(strategy));
+    Engine ref(ShardTestConfig(strategy, 1, 1));
+    ASSERT_TRUE(ref.Run(w.t1, w.t2).ok());
+    EXPECT_EQ(ref.shard_epsilons(), std::vector<double>{ref.config().eps});
+    Engine other(ShardTestConfig(strategy, 1, 8));
+    ASSERT_TRUE(other.Run(w.t1, w.t2).ok());
+    ExpectEngineIdentical(ref, other);
+  }
+}
+
+// ---------------------------------------------------------------------------
+// K in {2, 4}: bit-identical across 1 / 2 / 8 shard threads
+// ---------------------------------------------------------------------------
+
+TEST(ShardedEquivalenceTest, ShardedRunsInvariantAcrossThreadCounts) {
+  const GeneratedWorkload w = SmallTpcDs();
+  for (const Strategy strategy :
+       {Strategy::kDpTimer, Strategy::kDpAnt, Strategy::kEp}) {
+    for (const uint32_t shards : {2u, 4u}) {
+      Engine ref(ShardTestConfig(strategy, shards, 1));
+      ASSERT_TRUE(ref.Run(w.t1, w.t2).ok());
+      for (const int threads : {2, 8}) {
+        SCOPED_TRACE(std::string(StrategyName(strategy)) + " shards=" +
+                     std::to_string(shards) + " threads=" +
+                     std::to_string(threads));
+        Engine run(ShardTestConfig(strategy, shards, threads));
+        ASSERT_TRUE(run.Run(w.t1, w.t2).ok());
+        ExpectEngineIdentical(ref, run);
+      }
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Sharded conservation: per-shard counters keep the Alg.-1 invariant and
+// no real row is created or destroyed by the routing
+// ---------------------------------------------------------------------------
+
+TEST(ShardedConservationTest, PerShardCountersMatchShardContents) {
+  const GeneratedWorkload w = SmallTpcDs();
+  IncShrinkConfig cfg = ShardTestConfig(Strategy::kDpTimer, 4, 2);
+  cfg.timer_T = 1000;       // beyond the stream: never release ...
+  cfg.flush_interval = 0;   // ... never flush: everything stays cached
+  Engine engine(cfg);
+  ASSERT_TRUE(engine.Run(w.t1, w.t2).ok());
+
+  Party probe0(0, 1), probe1(1, 2);
+  Protocol2PC probe(&probe0, &probe1, CostModel::Free());
+  const ShardedSecureCache& cache = engine.sharded_cache();
+  uint32_t cached_real = 0;
+  for (size_t k = 0; k < cache.num_shards(); ++k) {
+    const uint32_t in_shard = CountRealInside(&probe, cache.shard(k).rows());
+    EXPECT_EQ(cache.shard(k).RecoverCounterInside(&probe), in_shard)
+        << "shard " << k;
+    cached_real += in_shard;
+  }
+  EXPECT_EQ(cached_real, engine.Summary().total_real_entries_cached);
+}
+
+TEST(ShardedConservationTest, ShardedViewLosesNothingWithoutFlushes) {
+  const GeneratedWorkload w = SmallTpcDs();
+  for (const uint32_t shards : {2u, 4u}) {
+    IncShrinkConfig cfg = ShardTestConfig(Strategy::kDpTimer, shards, 2);
+    cfg.flush_interval = 0;  // flushing is the only lossy operation
+    Engine engine(cfg);
+    ASSERT_TRUE(engine.Run(w.t1, w.t2).ok());
+    Party probe0(0, 1), probe1(1, 2);
+    Protocol2PC probe(&probe0, &probe1, CostModel::Free());
+    uint32_t cached_real = 0;
+    const ShardedSecureCache& cache = engine.sharded_cache();
+    for (size_t k = 0; k < cache.num_shards(); ++k) {
+      cached_real += CountRealInside(&probe, cache.shard(k).rows());
+    }
+    const uint32_t in_view = CountRealInside(&probe, engine.view().rows());
+    EXPECT_EQ(in_view + cached_real,
+              engine.Summary().total_real_entries_cached)
+        << "shards " << shards;
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Sharded engines inside a fleet: the two parallel layers compose
+// ---------------------------------------------------------------------------
+
+TEST(ShardedFleetTest, ShardedTenantsMatchStandaloneShardedEngines) {
+  const GeneratedWorkload w = SmallTpcDs();
+  IncShrinkConfig cfg = ShardTestConfig(Strategy::kDpTimer, 2, 2);
+  DeploymentFleet fleet({{"a", cfg, &w}, {"b", cfg, &w}},
+                        {/*root_seed=*/99, /*num_threads=*/2});
+  fleet.RunAll();
+  for (size_t i = 0; i < fleet.num_tenants(); ++i) {
+    IncShrinkConfig standalone_cfg = cfg;
+    standalone_cfg.seed = DeriveTenantSeed(99, i);
+    Engine standalone(standalone_cfg);
+    ASSERT_TRUE(standalone.Run(w.t1, w.t2).ok());
+    SCOPED_TRACE("tenant " + std::to_string(i));
+    ExpectEngineIdentical(standalone, fleet.engine(i));
+  }
+}
+
+}  // namespace
+}  // namespace incshrink

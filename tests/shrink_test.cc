@@ -206,6 +206,72 @@ TEST_F(ShrinkTest, FlushOnlyAtConfiguredInterval) {
   EXPECT_EQ(CountRealInside(&proto_, view_.rows()), 2u);
 }
 
+TEST_F(ShrinkTest, FlushResetsCardinalityCounter) {
+  // Regression: the flush drains the cache completely (fetch + recycle) but
+  // used to leave the secret-shared counter standing, so the next DP
+  // release re-counted rows that were no longer cached.
+  IncShrinkConfig cfg = TimerConfig();
+  cfg.flush_interval = 4;
+  cfg.flush_size = 3;
+  FillCache(5, 10);
+  ASSERT_EQ(cache_.RecoverCounterInside(&proto_), 5u);
+  const ShrinkResult r = MaybeFlushCache(&proto_, cfg, 4, &cache_, &view_);
+  ASSERT_TRUE(r.fired);
+  EXPECT_EQ(cache_.size(), 0u);
+  EXPECT_EQ(cache_.RecoverCounterInside(&proto_), 0u);
+}
+
+TEST_F(ShrinkTest, ReleasesAfterFlushCountOnlyFreshEntries) {
+  // Interleaves flushes with Timer releases. eps is huge, so the Laplace
+  // noise rounds to zero w.h.p. and every released size must equal the real
+  // entries cached since the previous release-or-flush — never the
+  // cumulative count the old code reported after a flush.
+  IncShrinkConfig cfg = TimerConfig();
+  cfg.eps = 500;  // b/eps = 0.02: |noise| < 0.5 except with prob ~e^-25
+  cfg.timer_T = 2;
+  cfg.flush_interval = 3;
+  cfg.flush_size = 50;  // flush everything cached so far
+  ShrinkTimer timer(&proto_, cfg);
+  uint32_t fresh_entries = 0;
+  for (uint64_t t = 1; t <= 24; ++t) {
+    const uint32_t arriving = 1 + static_cast<uint32_t>(t % 3);
+    FillCache(arriving, 2);
+    fresh_entries += arriving;
+    const ShrinkResult sync = timer.Step(t, &cache_, &view_);
+    if (sync.fired) {
+      EXPECT_EQ(sync.released_size, fresh_entries) << "step " << t;
+      fresh_entries = 0;
+    }
+    if (MaybeFlushCache(&proto_, cfg, t, &cache_, &view_).fired) {
+      fresh_entries = 0;  // the flush recycled everything still cached
+    }
+  }
+}
+
+TEST_F(ShrinkTest, AntReleasesAfterFlushCountOnlyFreshEntries) {
+  // Same regression through the ANT path: after a flush the noisy-threshold
+  // comparison and the released size must both see a zeroed counter.
+  IncShrinkConfig cfg = AntConfig(/*theta=*/2);
+  cfg.eps = 800;  // tiny threshold + tiny noise: fires whenever c >= ~2
+  cfg.flush_interval = 5;
+  cfg.flush_size = 50;
+  ShrinkAnt ant(&proto_, cfg);
+  uint32_t fresh_entries = 0;
+  for (uint64_t t = 1; t <= 30; ++t) {
+    FillCache(2, 1);
+    fresh_entries += 2;
+    const ShrinkResult sync = ant.Step(t, &cache_, &view_);
+    if (sync.fired) {
+      EXPECT_EQ(sync.released_size, fresh_entries) << "step " << t;
+      fresh_entries = 0;
+    }
+    if (MaybeFlushCache(&proto_, cfg, t, &cache_, &view_).fired) {
+      EXPECT_EQ(cache_.RecoverCounterInside(&proto_), 0u) << "step " << t;
+      fresh_entries = 0;
+    }
+  }
+}
+
 TEST_F(ShrinkTest, FlushDisabledWithZeroInterval) {
   IncShrinkConfig cfg = TimerConfig();
   cfg.flush_interval = 0;

@@ -2,6 +2,7 @@
 
 #include "src/mpc/party.h"
 #include "src/mpc/protocol.h"
+#include "src/oblivious/cache_ops.h"
 #include "src/oblivious/formats.h"
 #include "src/storage/materialized_view.h"
 #include "src/storage/outsourced_store.h"
@@ -90,12 +91,51 @@ TEST_F(SecureCacheTest, AppendGrowsRows) {
   SecureCache cache(&proto_);
   Rng rng(7);
   SharedRows delta(kViewWidth);
-  uint32_t seq = 0;
+  uint64_t seq = 0;
   AppendDummyViewRow(&delta, &rng, &seq);
   AppendDummyViewRow(&delta, &rng, &seq);
   cache.Append(delta);
   EXPECT_EQ(cache.size(), 2u);
   EXPECT_EQ(*cache.seq(), 0u);  // engine-side seq is separate
+}
+
+TEST(CacheSortKeyTest, MonotoneAcrossOldWrapBoundaries) {
+  // Regression: with a uint32_t sequence the FIFO key field wrapped at 2^31
+  // (31-bit mask) and the counter itself aliased at 2^32. The 64-bit
+  // sequence maps real rows onto [1, 2^32 - 1], strictly decreasing through
+  // both old boundaries (the key cycles only after 2^32 - 1 insertions).
+  const uint64_t kWindows[][2] = {
+      {(1ull << 31) - 4, (1ull << 31) + 4},   // old mask-wrap boundary
+      {(1ull << 32) - 8, (1ull << 32) - 2},   // old counter-overflow edge
+  };
+  for (const auto& w : kWindows) {
+    for (uint64_t seq = w[0]; seq < w[1]; ++seq) {
+      const Word newer = MakeCacheSortKey(true, seq + 1);
+      const Word older = MakeCacheSortKey(true, seq);
+      EXPECT_LT(newer, older) << "seq " << seq;
+      EXPECT_GT(newer, MakeCacheSortKey(false, seq)) << "seq " << seq;
+    }
+  }
+}
+
+TEST_F(SecureCacheTest, FifoSurvivesTheOldWrapBoundary) {
+  // End-to-end: rows appended with insertion sequences straddling 2^31 (the
+  // old wrap point) come back in FIFO order from an oblivious cache read.
+  SecureCache cache(&proto_);
+  Rng rng(9);
+  *cache.seq() = (1ull << 31) - 3;
+  for (Word i = 0; i < 6; ++i) {
+    std::vector<Word> row(kViewWidth, 0);
+    row[kViewIsViewCol] = 1;
+    row[kViewSortKeyCol] = MakeCacheSortKey(true, (*cache.seq())++);
+    row[kViewKeyCol] = i;  // insertion rank
+    cache.rows()->AppendSecretRow(row, &rng);
+  }
+  SharedRows out = ObliviousCacheRead(&proto_, cache.rows(), 6);
+  ASSERT_EQ(out.size(), 6u);
+  for (size_t r = 0; r < out.size(); ++r) {
+    EXPECT_EQ(out.RecoverAt(r, kViewKeyCol), r) << "position " << r;
+  }
 }
 
 TEST(MaterializedViewTest, AppendAndSize) {
@@ -104,7 +144,7 @@ TEST(MaterializedViewTest, AppendAndSize) {
   EXPECT_DOUBLE_EQ(view.SizeMb(), 0.0);
   Rng rng(8);
   SharedRows batch(kViewWidth);
-  uint32_t seq = 0;
+  uint64_t seq = 0;
   for (int i = 0; i < 100; ++i) AppendDummyViewRow(&batch, &rng, &seq);
   view.Append(batch);
   EXPECT_EQ(view.size(), 100u);

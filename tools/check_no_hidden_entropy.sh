@@ -77,4 +77,25 @@ if [ "$fail" -ne 0 ]; then
   echo "ResolveThreadCount (src/common/thread_pool.h) instead."
   exit 1
 fi
+
+# Shard seed hygiene (sharded-secure-cache satellite): shard-local protocol
+# RNG state — the per-shard Party seeds and everything derived from them —
+# may only come from DeriveShardSeed, the public splitmix64 substream of the
+# deployment seed. A Party or Rng constructed in the sharded cache from any
+# other value would silently break the K>1 thread-count-invariance and
+# shard-reconstruction guarantees, so every such constructor call must sit
+# on a line that mentions the derived seed.
+SHARDED_CACHE=src/storage/sharded_cache.cc
+if [ -f "$SHARDED_CACHE" ]; then
+  hits=$(grep -nE '(make_unique<Party>|\bParty\s*\(|\bRng\s*\()' "$SHARDED_CACHE" \
+         | grep -v 'derived_seed')
+  if [ -n "$hits" ]; then
+    echo "FORBIDDEN shard-local randomness not derived via DeriveShardSeed:"
+    echo "$hits"
+    echo
+    echo "Seed shard parties/Rngs from DeriveShardSeed(engine_seed, shard)"
+    echo "(src/storage/sharded_cache.h) only."
+    exit 1
+  fi
+fi
 echo "OK: no hidden entropy sources found."
