@@ -43,12 +43,12 @@ void AblationDpSync(uint64_t steps) {
     cfg.upload_policy1.sync_interval = 2;
     cfg.upload_policy1.sync_theta = 10;
     cfg.upload_policy2 = cfg.upload_policy1;
-    Engine engine(cfg);
-    const Status st = engine.Run(spec.workload.t1, spec.workload.t2);
+    SynchronousDeployment deployment(cfg);
+    const Status st = deployment.Run(spec.workload.t1, spec.workload.t2);
     INCSHRINK_CHECK(st.ok());
-    const RunSummary s = engine.Summary();
+    const RunSummary s = deployment.Summary();
     std::printf("%14s | %10.2f | %8.2f | %8.3f | %12s\n", p.name,
-                engine.ComposedEpsilon(), s.l1_error.mean(),
+                deployment.engine().ComposedEpsilon(), s.l1_error.mean(),
                 s.OverallRelativeError(),
                 FormatSeconds(s.total_mpc_seconds).c_str());
   }
@@ -204,11 +204,11 @@ void AblationFilterView(uint64_t steps) {
     cfg.flush_interval = 0;
     cfg.upload_rows_t1 = 6;
     cfg.upload_rows_t2 = 6;
-    Engine engine(cfg);
+    SynchronousDeployment deployment(cfg);
     for (size_t i = 0; i < t1.size(); ++i) {
-      INCSHRINK_CHECK(engine.Step(t1[i], t2[i]).ok());
+      INCSHRINK_CHECK(deployment.Step(t1[i], t2[i]).ok());
     }
-    const RunSummary s = engine.Summary();
+    const RunSummary s = deployment.Summary();
     std::printf("%9s | %8.2f | %8.3f | %12s | %10llu\n",
                 StrategyName(strategy), s.l1_error.mean(),
                 s.OverallRelativeError(),

@@ -10,6 +10,7 @@
 #include <string>
 
 #include "src/core/engine.h"
+#include "src/core/owner_client.h"
 #include "src/workload/generators.h"
 #include "src/workload/runner.h"
 

@@ -82,9 +82,10 @@ int main(int argc, char** argv) {
           WithStrategy(tpcds.config, Strategy::kDpTimer), shards, threads);
       cfg.timer_T = 2;         // Shrink-heavy: release every other step
       cfg.flush_interval = 8;  // regular full-cache sorts per shard
-      Engine engine(cfg);
+      SynchronousDeployment deployment(cfg);
       const auto t0 = std::chrono::steady_clock::now();
-      const Status st = engine.Run(tpcds.workload.t1, tpcds.workload.t2);
+      const Status st =
+          deployment.Run(tpcds.workload.t1, tpcds.workload.t2);
       const auto t1 = std::chrono::steady_clock::now();
       if (!st.ok()) {
         std::printf("engine failed: %s\n", st.ToString().c_str());
@@ -92,8 +93,8 @@ int main(int argc, char** argv) {
       }
       const double seconds =
           std::chrono::duration<double>(t1 - t0).count();
-      const uint64_t fingerprint = EngineFingerprint(engine);
-      const uint64_t steps = engine.Summary().steps;
+      const uint64_t fingerprint = EngineFingerprint(deployment.engine());
+      const uint64_t steps = deployment.Summary().steps;
       if (threads == 1) {
         base_seconds = seconds;
         base_fingerprint = fingerprint;

@@ -6,7 +6,7 @@
 
 #include <cstdio>
 
-#include "src/core/engine.h"
+#include "src/core/owner_client.h"
 #include "src/workload/generators.h"
 
 using namespace incshrink;
@@ -24,17 +24,19 @@ int main() {
   params.steps = 120;
   const GeneratedWorkload workload = GenerateTpcDs(params);
 
-  // 3. Run: every Step() uploads owner batches, maintains the view through
-  //    Transform + Shrink, and answers the analyst's count query.
-  Engine engine(config);
-  const Status status = engine.Run(workload.t1, workload.t2);
+  // 3. Run in lockstep: each Step() has the two OwnerClients push one
+  //    upload frame each into the engine's channels, then the engine drains
+  //    them, maintains the view through Transform + Shrink, and answers the
+  //    analyst's count query.
+  SynchronousDeployment deployment(config);
+  const Status status = deployment.Run(workload.t1, workload.t2);
   if (!status.ok()) {
     std::fprintf(stderr, "run failed: %s\n", status.ToString().c_str());
     return 1;
   }
 
   // 4. Inspect the results.
-  const RunSummary s = engine.Summary();
+  const RunSummary s = deployment.Summary();
   std::printf("IncShrink quickstart (sDPTimer, eps = %.1f)\n", config.eps);
   std::printf("  steps processed        : %llu\n",
               static_cast<unsigned long long>(s.steps));
@@ -50,6 +52,6 @@ int main() {
               s.final_view_mb,
               static_cast<unsigned long long>(s.final_view_rows));
   std::printf("  event-level epsilon    : %.2f\n",
-              engine.accountant().EventLevelEpsilon());
+              deployment.engine().accountant().EventLevelEpsilon());
   return 0;
 }

@@ -12,7 +12,7 @@
 #include <cstdio>
 #include <vector>
 
-#include "src/core/engine.h"
+#include "src/core/owner_client.h"
 #include "src/relational/growing_table.h"
 
 using namespace incshrink;
@@ -77,17 +77,17 @@ int main() {
   config.upload_rows_t2 = 4;
   config.seed = 99;
 
-  Engine engine(config);
+  SynchronousDeployment deployment(config);
   std::printf("day | on-time (truth) | server answer | view rows | synced\n");
   std::printf("----+-----------------+---------------+-----------+-------\n");
   for (size_t day = 0; day < scenario.orders.size(); ++day) {
     const Status st =
-        engine.Step(scenario.orders[day], scenario.deliveries[day]);
+        deployment.Step(scenario.orders[day], scenario.deliveries[day]);
     if (!st.ok()) {
       std::fprintf(stderr, "step failed: %s\n", st.ToString().c_str());
       return 1;
     }
-    const StepMetrics& m = engine.step_metrics().back();
+    const StepMetrics& m = deployment.step_metrics().back();
     std::printf("%3llu | %15llu | %13llu | %9llu | %s\n",
                 static_cast<unsigned long long>(m.t),
                 static_cast<unsigned long long>(m.true_count),
@@ -96,7 +96,7 @@ int main() {
                 m.synced ? "yes" : "");
   }
 
-  const RunSummary s = engine.Summary();
+  const RunSummary s = deployment.Summary();
   std::printf("\nAfter %llu days: true on-time count = %llu, "
               "avg |error| = %.2f, %llu view updates posted.\n",
               static_cast<unsigned long long>(s.steps),
@@ -105,6 +105,6 @@ int main() {
               static_cast<unsigned long long>(s.updates));
   std::printf("Neither server ever saw a sale, a delivery, or a true count "
               "— only DP-sized batches (eps = %.1f).\n",
-              engine.accountant().EventLevelEpsilon());
+              deployment.engine().accountant().EventLevelEpsilon());
   return 0;
 }

@@ -50,7 +50,15 @@ Status IncShrinkConfig::Validate() const {
         policy->sync_interval == 0) {
       return Status::InvalidArgument("sync_interval must be positive");
     }
+    if (policy->kind == UploadPolicyKind::kDpAntSync &&
+        policy->sync_theta < 0) {
+      return Status::InvalidArgument("sync_theta must be non-negative");
+    }
   }
+  if (max_batches_per_step == 0)
+    return Status::InvalidArgument("max_batches_per_step must be >= 1");
+  if (upload_channel_capacity == 0)
+    return Status::InvalidArgument("upload_channel_capacity must be >= 1");
   return Status::OK();
 }
 

@@ -94,6 +94,22 @@ struct IncShrinkConfig {
   UploadPolicyConfig upload_policy1;
   UploadPolicyConfig upload_policy2;
 
+  // --- upload transport (owners -> servers) ---
+  /// Maximum owner upload frames the engine drains from each channel per
+  /// engine step. 1 (the default) is the lockstep cadence: one owner step
+  /// consumed per engine step, reproducing the pre-transport engine bit for
+  /// bit when owners are driven synchronously. Larger values let the engine
+  /// catch up on a backlog (owners running ahead on their own clock) by
+  /// merging several queued owner steps into one upload batch; the drain
+  /// count is a deterministic function of the queue depth and this bound,
+  /// never of thread scheduling.
+  uint32_t max_batches_per_step = 1;
+  /// Bounded capacity (in frames) of each owner upload channel. When a
+  /// channel is full the owner's TryStep is refused — public backpressure;
+  /// the owner retries on a later round. Must cover the configured owner
+  /// lead (owners may queue at most `capacity` steps ahead).
+  uint32_t upload_channel_capacity = 64;
+
   /// Whether Transform obliviously compacts its padded operator outputs to
   /// the tight public bound before caching. The DP protocols rely on this
   /// to keep the cache small; the EP baseline materializes the raw

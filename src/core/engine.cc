@@ -9,6 +9,7 @@
 #include "src/oblivious/formats.h"
 #include "src/oblivious/join.h"
 #include "src/relational/encode.h"
+#include "src/storage/serialization.h"
 
 namespace incshrink {
 
@@ -27,6 +28,8 @@ IncShrinkConfig AdjustForStrategy(IncShrinkConfig config) {
 
 Engine::Engine(const IncShrinkConfig& config)
     : config_(AdjustForStrategy(config)),
+      channel1_(config.upload_channel_capacity),
+      channel2_(config.upload_channel_capacity),
       s0_(0, config.seed * 0x9E3779B97F4A7C15ull + 1),
       s1_(1, config.seed * 0xC2B2AE3D27D4EB4Full + 2),
       proto_(&s0_, &s1_, config.cost_model),
@@ -38,12 +41,7 @@ Engine::Engine(const IncShrinkConfig& config)
              config_.cost_model),
       transform_(&proto_, config_, &accountant_),
       truth_(WindowJoinQuery{config.join.window_lo, config.join.window_hi,
-                             config.join.use_window}),
-      owner_rng_(config.seed ^ 0xD1B54A32D192ED03ull),
-      uploader1_(config.upload_policy1, config.upload_rows_t1,
-                 /*is_public=*/false, config.seed + 101),
-      uploader2_(config.upload_policy2, config.upload_rows_t2,
-                 config.t2_is_public, config.seed + 202) {
+                             config.join.use_window}) {
   INCSHRINK_CHECK(config.Validate().ok());
   // One Shrink instance per shard, each constructed on its shard's protocol
   // with its eps slice. For K == 1 the single instance lives on the
@@ -121,35 +119,66 @@ uint64_t Engine::AnswerQuery(double* seconds) {
   return answer;
 }
 
-Status Engine::Step(const std::vector<LogicalRecord>& new1,
-                    const std::vector<LogicalRecord>& new2) {
+Status Engine::Step() {
   ++t_;
   StepMetrics m;
   m.t = t_;
 
-  // Ground truth over the logical growing database.
-  if (config_.view_kind == ViewKind::kFilter) {
-    for (const LogicalRecord& rec : new1) {
-      if (rec.payload >= config_.filter.lo && rec.payload <= config_.filter.hi)
-        ++filter_truth_;
+  // Drain queued owner frames: at most max_batches_per_step per channel, in
+  // fixed owner order (a T1 frame, then its paired T2 frame — join views
+  // drain the channels as pairs so the ground-truth counter sees aligned
+  // streams). Drained frames merge into one upload batch per relation, so
+  // Transform still sees exactly one batch per engine step; the drain count
+  // is a pure function of the queue depths and the config bound.
+  const bool join_view = config_.view_kind != ViewKind::kFilter;
+  SharedRows merged1(kSrcWidth);
+  SharedRows merged2(kSrcWidth);
+  for (uint32_t b = 0; b < config_.max_batches_per_step; ++b) {
+    if (join_view && channel2_.empty()) break;  // wait for the full pair
+    std::vector<uint8_t> raw1;
+    if (!channel1_.TryPop(&raw1)) break;
+    INCSHRINK_ASSIGN_OR_RETURN(const UploadFrame f1, DecodeUploadFrame(raw1));
+    // A malformed peer must surface as a Status, never abort the server:
+    // validate the decoded width before AppendAll's internal CHECK sees it.
+    if (f1.batch.width() != kSrcWidth) {
+      return Status::InvalidArgument("upload frame has wrong row width");
     }
-    m.true_count = filter_truth_;
-  } else {
-    m.true_count = truth_.Step(new1, new2);
+    // Ground truth over the logical growing database, replayed from the
+    // frames' evaluation-only arrival sections in owner-step order. Under
+    // an owner lead the truth counter advances only as frames are drained:
+    // the engine's notion of q_t(D_t) is the synchronized prefix.
+    if (join_view) {
+      std::vector<uint8_t> raw2;
+      INCSHRINK_CHECK(channel2_.TryPop(&raw2));
+      INCSHRINK_ASSIGN_OR_RETURN(const UploadFrame f2,
+                                 DecodeUploadFrame(raw2));
+      if (f2.batch.width() != kSrcWidth) {
+        return Status::InvalidArgument("upload frame has wrong row width");
+      }
+      INCSHRINK_CHECK_EQ(f1.owner_step, f2.owner_step);
+      truth_.Step(f1.arrivals, f2.arrivals);
+      merged2.AppendAll(f2.batch);
+      ++frames_drained_;
+    } else {
+      for (const LogicalRecord& rec : f1.arrivals) {
+        if (rec.payload >= config_.filter.lo &&
+            rec.payload <= config_.filter.hi)
+          ++filter_truth_;
+      }
+    }
+    merged1.AppendAll(f1.batch);
+    ++frames_drained_;
   }
+  m.true_count = join_view ? truth_.count() : filter_truth_;
 
-  // Owner uploads (filter views consume only the T1 stream). Batch sizes
-  // are governed by the configured record-synchronization policies.
-  SharedRows batch1 = uploader1_.BuildBatch(t_, new1, &owner_rng_);
-  const uint64_t up1 = batch1.size();
+  const uint64_t up1 = merged1.size();
   proto_.AccountBytes(up1 * kSrcWidth * sizeof(Word) * 2);
-  store1_.AppendBatch(std::move(batch1));
+  store1_.AppendBatch(std::move(merged1));
   uint64_t up2 = 0;
-  if (config_.view_kind != ViewKind::kFilter) {
-    SharedRows batch2 = uploader2_.BuildBatch(t_, new2, &owner_rng_);
-    up2 = batch2.size();
+  if (join_view) {
+    up2 = merged2.size();
     proto_.AccountBytes(up2 * kSrcWidth * sizeof(Word) * 2);
-    store2_.AppendBatch(std::move(batch2));
+    store2_.AppendBatch(std::move(merged2));
   }
   upload_rows_t1_log_.push_back(up1);
   upload_rows_t2_log_.push_back(up2);
@@ -252,16 +281,6 @@ Status Engine::Step(const std::vector<LogicalRecord>& new1,
   return Status::OK();
 }
 
-Status Engine::Run(
-    const std::vector<std::vector<LogicalRecord>>& arrivals1,
-    const std::vector<std::vector<LogicalRecord>>& arrivals2) {
-  INCSHRINK_CHECK_EQ(arrivals1.size(), arrivals2.size());
-  for (size_t i = 0; i < arrivals1.size(); ++i) {
-    INCSHRINK_RETURN_NOT_OK(Step(arrivals1[i], arrivals2[i]));
-  }
-  return Status::OK();
-}
-
 RunSummary Engine::Summary() const {
   RunSummary s;
   for (const StepMetrics& m : metrics_) {
@@ -347,9 +366,9 @@ Engine::AdHocResult Engine::AnswerAdHocQuery(const AnalystQuery& query) {
 }
 
 double Engine::ComposedEpsilon() const {
-  const double owner1 = uploader1_.PolicyEpsilon();
+  const double owner1 = UploadPolicyEpsilon(config_.upload_policy1);
   const double owner2 =
-      config_.t2_is_public ? 0.0 : uploader2_.PolicyEpsilon();
+      config_.t2_is_public ? 0.0 : UploadPolicyEpsilon(config_.upload_policy2);
   return config_.eps + std::max(owner1, owner2);
 }
 

@@ -16,6 +16,7 @@
 #include "src/dp/transcript.h"
 #include "src/mpc/party.h"
 #include "src/mpc/protocol.h"
+#include "src/net/upload_channel.h"
 #include "src/relational/growing_table.h"
 #include "src/relational/query.h"
 #include "src/storage/materialized_view.h"
@@ -25,18 +26,31 @@
 
 namespace incshrink {
 
-/// \brief The IncShrink engine: one secure outsourced growing database
-/// deployment (two servers, one view definition, one update strategy).
+/// \brief The IncShrink engine: the server side of one secure outsourced
+/// growing database deployment (two servers, one view definition, one
+/// update strategy).
 ///
-/// Per step (paper Section 2.3 workflow):
-///  1. owners receive new logical records, upload fixed-size padded batches
-///     (public table side is uploaded as-is);
+/// Owners are decoupled from the engine (paper Section 3 separates the data
+/// owners from the two untrusted servers): each owner is an OwnerClient
+/// (src/core/owner_client.h) that synchronizes records on its *own* logical
+/// clock and pushes serialized upload frames into the engine's bounded
+/// inbound UploadChannels (src/net/). Per engine step:
+///  1. the engine drains a deterministic, config-bounded number of queued
+///     owner frames per channel (`max_batches_per_step`, fixed T1-then-T2
+///     interleave) and appends them to the outsourced stores;
 ///  2. the configured strategy maintains the materialized view —
 ///     Transform + Shrink for the DP protocols, direct materialization for
 ///     EP/OTM, nothing for NM;
 ///  3. the analyst's COUNT query is answered from the view (or, for NM, by
 ///     re-joining the entire outsourced data) and accuracy/efficiency
 ///     metrics are recorded.
+///
+/// Determinism contract of the transport: the drain schedule is a pure
+/// function of the queue depths and `max_batches_per_step` — never of
+/// thread scheduling — so a deployment's observables are a pure function of
+/// (config, the owners' schedules). Owners stepped in lockstep with the
+/// engine (SynchronousDeployment) reproduce the pre-transport fused engine
+/// bit for bit.
 ///
 /// The engine also logs the observable transcript and the DP releases so
 /// the test suite can replay the Table-1 simulator against the real run.
@@ -51,13 +65,20 @@ class Engine {
  public:
   explicit Engine(const IncShrinkConfig& config);
 
-  /// Processes one time step with the given logical arrivals.
-  Status Step(const std::vector<LogicalRecord>& new1,
-              const std::vector<LogicalRecord>& new2);
+  /// Processes one engine time step, draining queued owner upload frames
+  /// (see class comment). A step with no queued frames still advances the
+  /// strategy clock with an empty upload.
+  Status Step();
 
-  /// Runs `Step` over aligned per-step arrival vectors.
-  Status Run(const std::vector<std::vector<LogicalRecord>>& arrivals1,
-             const std::vector<std::vector<LogicalRecord>>& arrivals2);
+  /// Inbound upload channel of the T1 owner (server-side endpoint).
+  UploadChannel* channel1() { return &channel1_; }
+  /// Inbound upload channel of the T2 owner (unused by filter views).
+  UploadChannel* channel2() { return &channel2_; }
+  /// Queued frames not yet drained. Channels drain as pairs, so the T1
+  /// depth is the public queue depth of the deployment.
+  size_t queue_depth() const { return channel1_.depth(); }
+  /// Total owner frames drained across all steps so far.
+  uint64_t frames_drained() const { return frames_drained_; }
 
   /// Aggregated results (Table 2 rows).
   RunSummary Summary() const;
@@ -74,9 +95,14 @@ class Engine {
   Protocol2PC* proto() { return &proto_; }
   uint64_t current_step() const { return t_; }
   const MaterializedView& view() const { return view_; }
-  /// Shard 0 of the secure cache — the whole cache in the (default)
-  /// unsharded deployment. Prefer sharded_cache() when K may exceed 1.
-  const SecureCache& cache() const { return cache_.shard(0); }
+  /// Shard `k` of the secure cache — the whole cache is shard 0 in the
+  /// (default) unsharded deployment.
+  const SecureCache& shard_cache(size_t k) const { return cache_.shard(k); }
+  /// Deprecated: returned only shard 0, silently ignoring shards 1..K-1 of
+  /// a sharded deployment. Use shard_cache(k) (or sharded_cache() for the
+  /// whole structure) instead.
+  [[deprecated("cache() is shard 0 only; use shard_cache(k)")]]
+  const SecureCache& cache() const { return shard_cache(0); }
   const ShardedSecureCache& sharded_cache() const { return cache_; }
   /// Per-shard view-update budget slices; SequentialComposition over them
   /// equals config().eps exactly (== {eps} when unsharded).
@@ -120,6 +146,8 @@ class Engine {
   uint64_t MaterializeAll();
 
   IncShrinkConfig config_;
+  UploadChannel channel1_;
+  UploadChannel channel2_;
   Party s0_;
   Party s1_;
   Protocol2PC proto_;
@@ -139,11 +167,9 @@ class Engine {
   /// unsharded engine never spawns a thread).
   std::unique_ptr<ThreadPool> shard_pool_;
   WindowJoinCounter truth_;
-  Rng owner_rng_;
-  OwnerUploader uploader1_;
-  OwnerUploader uploader2_;
 
   uint64_t filter_truth_ = 0;  ///< ground truth for filter views
+  uint64_t frames_drained_ = 0;
   uint64_t t_ = 0;
   std::vector<StepMetrics> metrics_;
   Transcript transcript_;

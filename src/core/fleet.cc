@@ -20,16 +20,24 @@ DeploymentFleet::DeploymentFleet(std::vector<TenantSpec> tenants,
                                  const Options& options)
     : tenants_(std::move(tenants)),
       cursor_(tenants_.size(), 0),
+      owner_lead_(options.owner_lead),
       // Workers beyond the tenant count would only collect idle wakeups
       // every StepAll round.
       pool_(static_cast<int>(std::min<size_t>(
           static_cast<size_t>(ResolveThreadCount(options.num_threads)),
           std::max<size_t>(tenants_.size(), 1)))) {
   engines_.reserve(tenants_.size());
+  owners1_.reserve(tenants_.size());
+  owners2_.reserve(tenants_.size());
   for (size_t i = 0; i < tenants_.size(); ++i) {
     INCSHRINK_CHECK(tenants_[i].workload != nullptr);
     tenants_[i].config.seed = DeriveTenantSeed(options.root_seed, i);
     engines_.push_back(std::make_unique<Engine>(tenants_[i].config));
+    Engine* engine = engines_.back().get();
+    owners1_.push_back(std::make_unique<OwnerClient>(
+        MakeOwner1(tenants_[i].config, engine->channel1())));
+    owners2_.push_back(std::make_unique<OwnerClient>(
+        MakeOwner2(tenants_[i].config, engine->channel2())));
   }
 }
 
@@ -40,26 +48,52 @@ uint64_t DeploymentFleet::tenant_seed(size_t i) const {
 bool DeploymentFleet::done() const {
   for (size_t i = 0; i < tenants_.size(); ++i) {
     if (cursor_[i] < tenants_[i].workload->steps()) return false;
+    if (engines_[i]->queue_depth() > 0) return false;
   }
   return true;
 }
 
 size_t DeploymentFleet::StepAll() {
-  // The set of tenants that step this round is decided up front (it depends
-  // only on the cursors, never on scheduling), then executed concurrently:
-  // each task touches exactly one tenant's engine and cursor.
+  // The set of tenants that participate in this round is decided up front
+  // (it depends only on the cursors and queue depths, never on scheduling),
+  // then executed concurrently: each task touches exactly one tenant's
+  // owners, channels, engine and cursor, so any interleaving of tasks
+  // yields the same per-tenant state.
   std::vector<size_t> live;
   for (size_t i = 0; i < tenants_.size(); ++i) {
-    if (cursor_[i] < tenants_[i].workload->steps()) live.push_back(i);
+    if (cursor_[i] < tenants_[i].workload->steps() ||
+        engines_[i]->queue_depth() > 0) {
+      live.push_back(i);
+    }
   }
   if (live.empty()) return 0;
   ++rounds_;
   pool_.ParallelFor(live.size(), [&](size_t k) {
     const size_t i = live[k];
     const GeneratedWorkload& w = *tenants_[i].workload;
-    const uint64_t t = cursor_[i]++;
-    const Status st = engines_[i]->Step(w.t1[t], w.t2[t]);
-    INCSHRINK_CHECK(st.ok());
+    Engine& engine = *engines_[i];
+    const bool join_view =
+        tenants_[i].config.view_kind != ViewKind::kFilter;
+    // Owner phase: push frames up to the configured lead over the engine's
+    // clock. The owner pair advances atomically (both channels must have
+    // room) so the T1/T2 frame streams stay aligned; a full channel is
+    // public backpressure and simply retries next round.
+    const uint64_t horizon = engine.current_step() + 1 + owner_lead_;
+    while (cursor_[i] < w.steps() && cursor_[i] < horizon) {
+      const uint64_t t = cursor_[i];
+      // T1 leads the pair: its refusal is the recorded backpressure event.
+      // The channels always hold equal depths (frames are pushed and
+      // drained strictly in pairs), so if T1's push lands, T2's must too.
+      if (!owners1_[i]->TryStep(w.t1[t])) break;
+      if (join_view) INCSHRINK_CHECK(owners2_[i]->TryStep(w.t2[t]));
+      ++cursor_[i];
+    }
+    // Engine phase: step iff frames are queued; a backlogged tenant drains
+    // up to max_batches_per_step owner steps in this one engine step.
+    if (engine.queue_depth() > 0) {
+      const Status st = engine.Step();
+      INCSHRINK_CHECK(st.ok());
+    }
   });
   return live.size();
 }
@@ -72,11 +106,18 @@ void DeploymentFleet::RunAll() {
 DeploymentFleet::FleetStats DeploymentFleet::AggregateStats() const {
   FleetStats stats;
   stats.rounds = rounds_;
-  for (const std::unique_ptr<Engine>& e : engines_) {
-    const RunSummary s = e->Summary();
+  for (size_t i = 0; i < engines_.size(); ++i) {
+    const RunSummary s = engines_[i]->Summary();
     stats.engine_steps += s.steps;
     stats.simulated_mpc_seconds += s.total_mpc_seconds;
     stats.simulated_query_seconds += s.total_query_seconds;
+    for (UploadChannel* ch :
+         {engines_[i]->channel1(), engines_[i]->channel2()}) {
+      stats.upload_frames += ch->frames_pushed();
+      stats.upload_backpressure += ch->push_rejects();
+      stats.max_queue_depth =
+          std::max<uint64_t>(stats.max_queue_depth, ch->max_depth());
+    }
   }
   return stats;
 }

@@ -7,6 +7,7 @@
 
 #include "src/common/thread_pool.h"
 #include "src/core/engine.h"
+#include "src/core/owner_client.h"
 #include "src/workload/generators.h"
 
 namespace incshrink {
@@ -22,10 +23,20 @@ uint64_t DeriveTenantSeed(uint64_t root_seed, size_t tenant_index);
 /// served side by side, the shape Shrinkwrap/DP-Sync frame the server side
 /// as — one shared service answering many DP-protected instances.
 ///
-/// Tenants never share protocol state: each owns its Engine, parties,
-/// accountant and RNG substream, so stepping them concurrently is
-/// observationally identical to stepping them one at a time. The fleet's
-/// only cross-tenant artifacts are aggregate throughput counters.
+/// Tenants never share protocol state: each owns its Engine, owner clients,
+/// upload channels, parties, accountant and RNG substream, so stepping them
+/// concurrently is observationally identical to stepping them one at a
+/// time. The fleet's only cross-tenant artifacts are aggregate throughput
+/// counters.
+///
+/// Each round, a tenant task first runs the *owner phase* — its OwnerClients
+/// push upload frames until they reach the configured lead over the engine
+/// or the channel backpressures — and then the *engine phase*: the engine
+/// steps once iff frames are queued, draining up to its
+/// `max_batches_per_step`. Scheduling is queue-depth aware by construction
+/// (a backlogged tenant's engine catches up on several owner steps in one
+/// engine step) yet fully deterministic: both phases depend only on public
+/// clocks and queue depths, never on worker scheduling.
 class DeploymentFleet {
  public:
   struct TenantSpec {
@@ -41,22 +52,31 @@ class DeploymentFleet {
   struct Options {
     uint64_t root_seed = 42;
     int num_threads = 0;  ///< 0 = INCSHRINK_THREADS / hardware concurrency
+    /// How many steps tenants' owners may run ahead of their engines. 0
+    /// (the default) is lockstep: one frame pair produced and drained per
+    /// round — the pre-transport fleet cadence, bit for bit. Leads are
+    /// additionally bounded by the channel capacity (public backpressure).
+    uint32_t owner_lead = 0;
   };
 
   DeploymentFleet(std::vector<TenantSpec> tenants, const Options& options);
 
-  /// Advances every tenant that still has stream left by one step,
-  /// concurrently across the pool. Returns how many tenants stepped
-  /// (0 == the whole fleet has consumed its streams).
+  /// Advances every tenant that still has stream left (or frames queued) by
+  /// one round, concurrently across the pool. Returns how many tenants were
+  /// live this round (0 == the whole fleet is drained).
   size_t StepAll();
 
-  /// Steps until every tenant has consumed its stream.
+  /// Steps until every tenant has consumed and drained its stream.
   void RunAll();
 
   bool done() const;
   size_t num_tenants() const { return tenants_.size(); }
   const TenantSpec& tenant(size_t i) const { return tenants_[i]; }
   const Engine& engine(size_t i) const { return *engines_[i]; }
+  const OwnerClient& owner1(size_t i) const { return *owners1_[i]; }
+  const OwnerClient& owner2(size_t i) const { return *owners2_[i]; }
+  /// Frames queued but not yet drained by tenant `i`'s engine.
+  size_t QueueDepth(size_t i) const { return engines_[i]->queue_depth(); }
   uint64_t tenant_seed(size_t i) const;
   RunSummary TenantSummary(size_t i) const { return engines_[i]->Summary(); }
 
@@ -66,6 +86,9 @@ class DeploymentFleet {
   struct FleetStats {
     uint64_t rounds = 0;        ///< StepAll invocations so far
     uint64_t engine_steps = 0;  ///< total tenant-steps executed
+    uint64_t upload_frames = 0;       ///< frames pushed across all channels
+    uint64_t upload_backpressure = 0; ///< refused pushes (channels full)
+    uint64_t max_queue_depth = 0;     ///< deepest any channel ever got
     double simulated_mpc_seconds = 0;
     double simulated_query_seconds = 0;
   };
@@ -76,7 +99,10 @@ class DeploymentFleet {
  private:
   std::vector<TenantSpec> tenants_;
   std::vector<std::unique_ptr<Engine>> engines_;
-  std::vector<uint64_t> cursor_;  ///< next stream index per tenant
+  std::vector<std::unique_ptr<OwnerClient>> owners1_;
+  std::vector<std::unique_ptr<OwnerClient>> owners2_;
+  std::vector<uint64_t> cursor_;  ///< next stream index per tenant's owners
+  uint32_t owner_lead_;
   uint64_t rounds_ = 0;
   ThreadPool pool_;
 };

@@ -1,0 +1,87 @@
+#include "src/core/owner_client.h"
+
+#include "src/common/logging.h"
+#include "src/storage/serialization.h"
+
+namespace incshrink {
+
+uint64_t DeriveOwnerShareSeed(uint64_t deployment_seed, int owner_index) {
+  // Splitmix64 scramble of (deployment seed, owner index), salted with the
+  // pre-transport engine's owner-rng constant so the streams stay disjoint
+  // from the tenant/shard/replica derivations.
+  uint64_t z = (deployment_seed ^ 0xD1B54A32D192ED03ull) +
+               0x9E3779B97F4A7C15ull * (static_cast<uint64_t>(owner_index) + 1);
+  z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ull;
+  z = (z ^ (z >> 27)) * 0x94D049BB133111EBull;
+  return z ^ (z >> 31);
+}
+
+OwnerClient::OwnerClient(const UploadPolicyConfig& policy, uint32_t fixed_rows,
+                         bool is_public, uint64_t policy_seed,
+                         uint64_t share_seed, UploadChannel* channel)
+    : uploader_(policy, fixed_rows, is_public, policy_seed),
+      share_rng_(share_seed),
+      channel_(channel) {
+  INCSHRINK_CHECK(channel_ != nullptr);
+}
+
+bool OwnerClient::TryStep(const std::vector<LogicalRecord>& arrivals) {
+  // Refuse before touching any state: a backpressured step must be
+  // re-offerable later with identical results (clock, queue and RNG draws
+  // all untouched). Capacity was checked, so the push below cannot fail.
+  if (channel_->full()) {
+    channel_->NoteBackpressure();
+    return false;
+  }
+  ++t_;
+  UploadFrame frame;
+  frame.owner_step = t_;
+  frame.arrivals = arrivals;
+  frame.batch = uploader_.BuildBatch(t_, arrivals, &share_rng_);
+  ++frames_sent_;
+  rows_sent_ += frame.batch.size();
+  INCSHRINK_CHECK(channel_->TryPush(EncodeUploadFrame(frame)));
+  return true;
+}
+
+OwnerClient MakeOwner1(const IncShrinkConfig& config, UploadChannel* channel) {
+  // Policy seeds match the pre-transport engine (config.seed + 101 / + 202)
+  // so the DP-released batch-size sequences are unchanged.
+  return OwnerClient(config.upload_policy1, config.upload_rows_t1,
+                     /*is_public=*/false, config.seed + 101,
+                     DeriveOwnerShareSeed(config.seed, 0), channel);
+}
+
+OwnerClient MakeOwner2(const IncShrinkConfig& config, UploadChannel* channel) {
+  return OwnerClient(config.upload_policy2, config.upload_rows_t2,
+                     config.t2_is_public, config.seed + 202,
+                     DeriveOwnerShareSeed(config.seed, 1), channel);
+}
+
+SynchronousDeployment::SynchronousDeployment(const IncShrinkConfig& config)
+    : engine_(config),
+      owner1_(MakeOwner1(config, engine_.channel1())),
+      owner2_(MakeOwner2(config, engine_.channel2())) {}
+
+Status SynchronousDeployment::Step(const std::vector<LogicalRecord>& new1,
+                                   const std::vector<LogicalRecord>& new2) {
+  // Lockstep leaves every channel empty between steps, so these pushes can
+  // never hit backpressure (capacity >= 1 is validated).
+  INCSHRINK_CHECK(owner1_.TryStep(new1));
+  if (engine_.config().view_kind != ViewKind::kFilter) {
+    INCSHRINK_CHECK(owner2_.TryStep(new2));
+  }
+  return engine_.Step();
+}
+
+Status SynchronousDeployment::Run(
+    const std::vector<std::vector<LogicalRecord>>& arrivals1,
+    const std::vector<std::vector<LogicalRecord>>& arrivals2) {
+  INCSHRINK_CHECK_EQ(arrivals1.size(), arrivals2.size());
+  for (size_t i = 0; i < arrivals1.size(); ++i) {
+    INCSHRINK_RETURN_NOT_OK(Step(arrivals1[i], arrivals2[i]));
+  }
+  return Status::OK();
+}
+
+}  // namespace incshrink

@@ -23,8 +23,7 @@ OwnerUploader::OwnerUploader(const UploadPolicyConfig& config,
 }
 
 double OwnerUploader::PolicyEpsilon() const {
-  return config_.kind == UploadPolicyKind::kFixedSize ? 0.0
-                                                      : config_.eps_sync;
+  return UploadPolicyEpsilon(config_);
 }
 
 SharedRows OwnerUploader::Emit(size_t take, size_t rows, Rng* share_rng) {

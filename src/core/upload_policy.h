@@ -35,6 +35,13 @@ struct UploadPolicyConfig {
   double sync_theta = 10;
 };
 
+/// The owner-policy epsilon of a policy config (0 for the non-DP fixed
+/// policy). Free-standing so the engine can compose epsilons from its
+/// config without holding the owner-side state.
+inline double UploadPolicyEpsilon(const UploadPolicyConfig& config) {
+  return config.kind == UploadPolicyKind::kFixedSize ? 0.0 : config.eps_sync;
+}
+
 /// \brief Stateful per-owner uploader: queues logical arrivals and emits the
 /// secret-shared, dummy-padded batch for each step under the configured
 /// policy. The emitted batch size is the only thing the servers observe

@@ -1,0 +1,31 @@
+#include "src/net/upload_channel.h"
+
+#include "src/common/logging.h"
+
+namespace incshrink {
+
+UploadChannel::UploadChannel(size_t capacity) : capacity_(capacity) {
+  INCSHRINK_CHECK_GE(capacity_, 1u);
+}
+
+bool UploadChannel::TryPush(std::vector<uint8_t> frame) {
+  if (full()) {
+    ++push_rejects_;
+    return false;
+  }
+  ++frames_pushed_;
+  bytes_pushed_ += frame.size();
+  queue_.push_back(std::move(frame));
+  if (queue_.size() > max_depth_) max_depth_ = queue_.size();
+  return true;
+}
+
+bool UploadChannel::TryPop(std::vector<uint8_t>* frame) {
+  if (queue_.empty()) return false;
+  *frame = std::move(queue_.front());
+  queue_.pop_front();
+  ++frames_popped_;
+  return true;
+}
+
+}  // namespace incshrink

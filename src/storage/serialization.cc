@@ -61,6 +61,125 @@ Result<ShareBlob> ParseShareBlob(const std::vector<uint8_t>& bytes) {
   return blob;
 }
 
+namespace {
+
+constexpr char kFrameMagic[3] = {'I', 'U', 'F'};
+constexpr uint8_t kFrameVersion = 1;
+
+/// Bounds-checked little-endian reader over a frame buffer. Every accessor
+/// flips `ok` to false instead of reading past the end, so truncated frames
+/// fail cleanly.
+struct FrameReader {
+  const uint8_t* data;
+  size_t size;
+  size_t pos = 0;
+  bool ok = true;
+
+  uint64_t U64() {
+    if (pos + 8 > size) {
+      ok = false;
+      return 0;
+    }
+    const uint64_t v = ReadU64(data + pos);
+    pos += 8;
+    return v;
+  }
+  uint32_t U32() {
+    if (pos + 4 > size) {
+      ok = false;
+      return 0;
+    }
+    const uint32_t v = ReadU32(data + pos);
+    pos += 4;
+    return v;
+  }
+};
+
+}  // namespace
+
+std::vector<uint8_t> EncodeUploadFrame(const UploadFrame& frame) {
+  const SharedRows& batch = frame.batch;
+  std::vector<uint8_t> out;
+  out.reserve(36 + batch.size() * batch.width() * 8 + frame.arrivals.size() * 24);
+  for (char c : kFrameMagic) out.push_back(static_cast<uint8_t>(c));
+  out.push_back(kFrameVersion);
+  AppendU64(&out, frame.owner_step);
+  AppendU64(&out, batch.width());
+  AppendU64(&out, batch.size());
+  for (Word w : batch.shares0()) AppendU32(&out, w);
+  for (Word w : batch.shares1()) AppendU32(&out, w);
+  AppendU64(&out, frame.arrivals.size());
+  for (const LogicalRecord& rec : frame.arrivals) {
+    AppendU64(&out, rec.step);
+    AppendU32(&out, rec.rid);
+    AppendU32(&out, rec.key);
+    AppendU32(&out, rec.date);
+    AppendU32(&out, rec.payload);
+  }
+  return out;
+}
+
+Result<UploadFrame> DecodeUploadFrame(const std::vector<uint8_t>& bytes) {
+  if (bytes.size() < 4) return Status::InvalidArgument("frame too short");
+  if (std::memcmp(bytes.data(), kFrameMagic, 3) != 0) {
+    return Status::InvalidArgument("bad frame magic");
+  }
+  if (bytes[3] != kFrameVersion) {
+    return Status::InvalidArgument("unsupported frame version");
+  }
+  FrameReader r{bytes.data(), bytes.size(), 4};
+  UploadFrame frame;
+  frame.owner_step = r.U64();
+  const uint64_t width = r.U64();
+  const uint64_t rows = r.U64();
+  if (!r.ok) return Status::InvalidArgument("truncated frame header");
+  // Reject dimensions whose payload cannot possibly fit in the buffer
+  // before allocating anything (a hostile header must not OOM the server,
+  // and a zero-width header must not smuggle an unbounded row count past
+  // the payload-fit check below).
+  if (width == 0 && rows != 0) {
+    return Status::InvalidArgument("frame dimensions invalid");
+  }
+  const uint64_t words = width * rows;
+  if (width != 0 && words / width != rows) {
+    return Status::InvalidArgument("frame dimensions overflow");
+  }
+  if (words > (r.size - r.pos) / 8) {
+    return Status::InvalidArgument("truncated frame share section");
+  }
+  frame.batch = SharedRows(static_cast<size_t>(width));
+  std::vector<Word> share0(words), share1(words);
+  for (uint64_t i = 0; i < words; ++i) share0[i] = r.U32();
+  for (uint64_t i = 0; i < words; ++i) share1[i] = r.U32();
+  std::vector<Word> row0(width), row1(width);
+  for (uint64_t row = 0; row < rows; ++row) {
+    for (uint64_t c = 0; c < width; ++c) {
+      row0[c] = share0[row * width + c];
+      row1[c] = share1[row * width + c];
+    }
+    frame.batch.AppendSharedRow(row0, row1);
+  }
+  const uint64_t num_arrivals = r.U64();
+  if (!r.ok || num_arrivals > (r.size - r.pos) / 24) {
+    return Status::InvalidArgument("truncated frame arrival section");
+  }
+  frame.arrivals.reserve(static_cast<size_t>(num_arrivals));
+  for (uint64_t i = 0; i < num_arrivals; ++i) {
+    LogicalRecord rec;
+    rec.step = r.U64();
+    rec.rid = r.U32();
+    rec.key = r.U32();
+    rec.date = r.U32();
+    rec.payload = r.U32();
+    frame.arrivals.push_back(rec);
+  }
+  if (!r.ok) return Status::InvalidArgument("truncated frame");
+  if (r.pos != r.size) {
+    return Status::InvalidArgument("trailing bytes after frame");
+  }
+  return frame;
+}
+
 Result<SharedRows> CombineShareBlobs(const std::vector<uint8_t>& server0,
                                      const std::vector<uint8_t>& server1) {
   INCSHRINK_ASSIGN_OR_RETURN(const ShareBlob b0, ParseShareBlob(server0));

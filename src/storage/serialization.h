@@ -5,6 +5,7 @@
 #include <vector>
 
 #include "src/common/result.h"
+#include "src/relational/growing_table.h"
 #include "src/secret/shared_rows.h"
 
 namespace incshrink {
@@ -35,5 +36,40 @@ Result<ShareBlob> ParseShareBlob(const std::vector<uint8_t>& bytes);
 /// blobs agree on dimensions.
 Result<SharedRows> CombineShareBlobs(const std::vector<uint8_t>& server0,
                                      const std::vector<uint8_t>& server1);
+
+// --- Owner upload frames (transport wire format) ---------------------------
+
+/// \brief One owner upload step on the wire: the secret-shared batch plus
+/// transport metadata, as carried by an UploadChannel (src/net/).
+///
+/// The in-process transport bundles both servers' share halves into one
+/// frame (a real network deployment would split them onto two sockets; the
+/// framing below keeps the halves in separable contiguous sections for
+/// exactly that reason). The `arrivals` section is evaluation-only ground
+/// truth — the plaintext records contained in the batch, used by the engine
+/// to maintain q_t(D_t) for error metrics. Servers in a real deployment
+/// would never receive it; it rides the frame so the simulated pipeline
+/// stays a single stream.
+///
+/// Wire format v1 (little-endian):
+///   magic "IUF" | u8 version (1) | u64 owner_step | u64 width | u64 rows |
+///   rows*width u32 share0 words | rows*width u32 share1 words |
+///   u64 num_arrivals | per arrival: u64 step, u32 rid, key, date, payload
+///
+/// The version byte gates future evolution (compression, MACs, per-server
+/// split frames) without breaking decoders.
+struct UploadFrame {
+  uint64_t owner_step = 0;      ///< owner logical clock at emission
+  SharedRows batch{0};          ///< secret-shared, dummy-padded upload batch
+  std::vector<LogicalRecord> arrivals;  ///< eval-only: this step's plaintext
+};
+
+/// Serializes a frame into its wire bytes.
+std::vector<uint8_t> EncodeUploadFrame(const UploadFrame& frame);
+
+/// Parses wire bytes back into a frame. Any truncation, bad magic, unknown
+/// version or dimension mismatch returns an InvalidArgument Status — never
+/// crashes — so a malformed peer cannot take the server down.
+Result<UploadFrame> DecodeUploadFrame(const std::vector<uint8_t>& bytes);
 
 }  // namespace incshrink

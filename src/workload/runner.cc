@@ -5,6 +5,7 @@
 
 #include "src/common/logging.h"
 #include "src/common/thread_pool.h"
+#include "src/core/owner_client.h"
 
 namespace incshrink {
 
@@ -96,10 +97,13 @@ RunSummary RunReplica(const IncShrinkConfig& config,
 
 RunSummary RunWorkload(const IncShrinkConfig& config,
                        const GeneratedWorkload& workload) {
-  Engine engine(config);
-  const Status st = engine.Run(workload.t1, workload.t2);
+  // Generators feed the OwnerClients of a lockstep deployment — the owner
+  // side is decoupled from the engine even here; only the drive schedule is
+  // synchronous.
+  SynchronousDeployment deployment(config);
+  const Status st = deployment.Run(workload.t1, workload.t2);
   INCSHRINK_CHECK(st.ok());
-  return engine.Summary();
+  return deployment.engine().Summary();
 }
 
 std::vector<RunSummary> RunSeedSweep(const IncShrinkConfig& config,

@@ -8,8 +8,10 @@
 
 namespace incshrink {
 
-/// Runs one full deployment of `config` over the generated stream and
-/// returns the aggregated metrics. Aborts on privacy-ledger violations
+/// Runs one full deployment of `config` over the generated stream — the
+/// generator feeds the deployment's OwnerClients, which push upload frames
+/// through the bounded channels the engine drains (lockstep schedule) —
+/// and returns the aggregated metrics. Aborts on privacy-ledger violations
 /// (which would indicate a bug, not an expected condition).
 RunSummary RunWorkload(const IncShrinkConfig& config,
                        const GeneratedWorkload& workload);

@@ -14,6 +14,7 @@
 #include <vector>
 
 #include "src/core/engine.h"
+#include "src/core/owner_client.h"
 #include "src/core/multilevel.h"
 #include "src/oblivious/formats.h"
 #include "src/workload/generators.h"
@@ -33,7 +34,8 @@ GeneratedWorkload AdHocWorkload() {
 }
 
 TEST(AdHocQueryTest, EmptyViewAnswersZeroBeforeAnyStep) {
-  Engine engine(DefaultTpcDsConfig());
+  SynchronousDeployment deployment(DefaultTpcDsConfig());
+  Engine& engine = deployment.engine();
   const Engine::AdHocResult r = engine.AnswerAdHocQuery(AnalystQuery::CountAll());
   EXPECT_EQ(r.answer, 0u);
   EXPECT_EQ(r.truth, 0u);
@@ -47,8 +49,9 @@ TEST(AdHocQueryTest, EmptyViewAnswersZeroWhileTruthGrows) {
   IncShrinkConfig cfg = DefaultTpcDsConfig();
   cfg.timer_T = 100000;
   cfg.flush_interval = 0;
-  Engine engine(cfg);
-  ASSERT_TRUE(engine.Run(w.t1, w.t2).ok());
+  SynchronousDeployment deployment(cfg);
+  ASSERT_TRUE(deployment.Run(w.t1, w.t2).ok());
+  Engine& engine = deployment.engine();
   ASSERT_EQ(engine.view().size(), 0u);
   const Engine::AdHocResult r = engine.AnswerAdHocQuery(AnalystQuery::CountAll());
   EXPECT_EQ(r.answer, 0u);
@@ -60,8 +63,9 @@ TEST(AdHocQueryTest, OutOfWindowDateRangeAnswersExactZero) {
   // neither truth pairs nor any real view row, and dummy rows never count
   // (isView = 0) — so the oblivious answer is exactly 0, not merely small.
   const GeneratedWorkload w = AdHocWorkload();
-  Engine engine(DefaultTpcDsConfig());
-  ASSERT_TRUE(engine.Run(w.t1, w.t2).ok());
+  SynchronousDeployment deployment(DefaultTpcDsConfig());
+  ASSERT_TRUE(deployment.Run(w.t1, w.t2).ok());
+  Engine& engine = deployment.engine();
   ASSERT_GT(engine.view().size(), 0u);
   const Engine::AdHocResult r = engine.AnswerAdHocQuery(
       AnalystQuery::CountDateRange(1u << 20, 1u << 21));
@@ -71,8 +75,9 @@ TEST(AdHocQueryTest, OutOfWindowDateRangeAnswersExactZero) {
 
 TEST(AdHocQueryTest, CountAllMatchesStandingQueryAnswer) {
   const GeneratedWorkload w = AdHocWorkload();
-  Engine engine(DefaultTpcDsConfig());
-  ASSERT_TRUE(engine.Run(w.t1, w.t2).ok());
+  SynchronousDeployment deployment(DefaultTpcDsConfig());
+  ASSERT_TRUE(deployment.Run(w.t1, w.t2).ok());
+  Engine& engine = deployment.engine();
   const Engine::AdHocResult all = engine.AnswerAdHocQuery(AnalystQuery::CountAll());
   // Same view, same oblivious count: must agree with the last step's
   // standing COUNT(*) answer and with the exact stream truth.
@@ -84,8 +89,9 @@ TEST(AdHocQueryTest, DateRangePartitionIsExact) {
   // Every real view row has one T2-side date, so splitting the full date
   // domain partitions both the oblivious answer and the truth exactly.
   const GeneratedWorkload w = AdHocWorkload();
-  Engine engine(DefaultTpcDsConfig());
-  ASSERT_TRUE(engine.Run(w.t1, w.t2).ok());
+  SynchronousDeployment deployment(DefaultTpcDsConfig());
+  ASSERT_TRUE(deployment.Run(w.t1, w.t2).ok());
+  Engine& engine = deployment.engine();
   const Word mid = 20;
   const Engine::AdHocResult all = engine.AnswerAdHocQuery(AnalystQuery::CountAll());
   const Engine::AdHocResult lo =
@@ -99,8 +105,9 @@ TEST(AdHocQueryTest, DateRangePartitionIsExact) {
 
 TEST(AdHocQueryTest, KeyEqualsRestrictionsAreConsistent) {
   const GeneratedWorkload w = AdHocWorkload();
-  Engine engine(DefaultTpcDsConfig());
-  ASSERT_TRUE(engine.Run(w.t1, w.t2).ok());
+  SynchronousDeployment deployment(DefaultTpcDsConfig());
+  ASSERT_TRUE(deployment.Run(w.t1, w.t2).ok());
+  Engine& engine = deployment.engine();
   const Engine::AdHocResult all = engine.AnswerAdHocQuery(AnalystQuery::CountAll());
   // TPC-ds keys have join multiplicity 1: every per-key slice answers 0 or
   // 1, and an absent key answers exactly 0.

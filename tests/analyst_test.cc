@@ -1,6 +1,7 @@
 #include <gtest/gtest.h>
 
 #include "src/core/engine.h"
+#include "src/core/owner_client.h"
 #include "src/dp/composition.h"
 #include "src/workload/generators.h"
 
@@ -58,18 +59,19 @@ class AdHocQueryTest : public ::testing::Test {
     workload_ = GenerateTpcDs(p);
   }
 
-  Engine MakeEngine(Strategy strategy) {
+  SynchronousDeployment MakeDeployment(Strategy strategy) {
     IncShrinkConfig cfg = DefaultTpcDsConfig();
     cfg.strategy = strategy;
-    return Engine(cfg);
+    return SynchronousDeployment(cfg);
   }
 
   GeneratedWorkload workload_;
 };
 
 TEST_F(AdHocQueryTest, EpAnswersAdHocExactly) {
-  Engine engine = MakeEngine(Strategy::kEp);
-  ASSERT_TRUE(engine.Run(workload_.t1, workload_.t2).ok());
+  SynchronousDeployment deployment = MakeDeployment(Strategy::kEp);
+  ASSERT_TRUE(deployment.Run(workload_.t1, workload_.t2).ok());
+  Engine& engine = deployment.engine();
 
   const auto all = engine.AnswerAdHocQuery(AnalystQuery::CountAll());
   EXPECT_EQ(all.answer, all.truth);
@@ -90,8 +92,9 @@ TEST_F(AdHocQueryTest, EpAnswersAdHocExactly) {
 }
 
 TEST_F(AdHocQueryTest, KeyEqualsQueries) {
-  Engine engine = MakeEngine(Strategy::kEp);
-  ASSERT_TRUE(engine.Run(workload_.t1, workload_.t2).ok());
+  SynchronousDeployment deployment = MakeDeployment(Strategy::kEp);
+  ASSERT_TRUE(deployment.Run(workload_.t1, workload_.t2).ok());
+  Engine& engine = deployment.engine();
   // Find a key that actually joined.
   ASSERT_FALSE(workload_.t2.empty());
   Word key = 0;
@@ -108,8 +111,9 @@ TEST_F(AdHocQueryTest, KeyEqualsQueries) {
 }
 
 TEST_F(AdHocQueryTest, DpViewAnswersWithBoundedError) {
-  Engine engine = MakeEngine(Strategy::kDpTimer);
-  ASSERT_TRUE(engine.Run(workload_.t1, workload_.t2).ok());
+  SynchronousDeployment deployment = MakeDeployment(Strategy::kDpTimer);
+  ASSERT_TRUE(deployment.Run(workload_.t1, workload_.t2).ok());
+  Engine& engine = deployment.engine();
   const auto all = engine.AnswerAdHocQuery(AnalystQuery::CountAll());
   // Deferred data only: the view answer must undershoot by a bounded amount
   // and never exceed the truth.
@@ -121,8 +125,9 @@ TEST_F(AdHocQueryTest, DpViewAnswersWithBoundedError) {
 }
 
 TEST_F(AdHocQueryTest, AdHocQueriesChargeQet) {
-  Engine engine = MakeEngine(Strategy::kEp);
-  ASSERT_TRUE(engine.Run(workload_.t1, workload_.t2).ok());
+  SynchronousDeployment deployment = MakeDeployment(Strategy::kEp);
+  ASSERT_TRUE(deployment.Run(workload_.t1, workload_.t2).ok());
+  Engine& engine = deployment.engine();
   const auto r = engine.AnswerAdHocQuery(AnalystQuery::CountAll());
   EXPECT_GT(r.query_seconds, 0.0);
 }

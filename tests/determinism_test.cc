@@ -15,6 +15,7 @@
 #include "src/common/rng.h"
 #include "src/core/config.h"
 #include "src/core/engine.h"
+#include "src/core/owner_client.h"
 #include "src/dp/laplace.h"
 #include "src/dp/mechanisms.h"
 #include "src/dp/svt.h"
@@ -217,10 +218,12 @@ TEST_P(EngineDeterminismTest, TranscriptAndMetricsReproducible) {
   config.seed = 4242;
   config.flush_interval = 20;  // exercise flushes inside the short stream
 
-  Engine e1(config);
-  ASSERT_TRUE(e1.Run(workload.t1, workload.t2).ok());
-  Engine e2(config);
-  ASSERT_TRUE(e2.Run(workload.t1, workload.t2).ok());
+  SynchronousDeployment d1(config);
+  ASSERT_TRUE(d1.Run(workload.t1, workload.t2).ok());
+  SynchronousDeployment d2(config);
+  ASSERT_TRUE(d2.Run(workload.t1, workload.t2).ok());
+  const Engine& e1 = d1.engine();
+  const Engine& e2 = d2.engine();
 
   // Transcript: exactly equal, event by event.
   ASSERT_EQ(e1.transcript().size(), e2.transcript().size());

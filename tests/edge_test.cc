@@ -1,6 +1,7 @@
 #include <gtest/gtest.h>
 
 #include "src/core/engine.h"
+#include "src/core/owner_client.h"
 #include "src/dp/bounds.h"
 #include "src/mpc/party.h"
 #include "src/oblivious/filter.h"
@@ -153,7 +154,7 @@ TEST(SelectObliviousnessTest, TraceIndependentOfSelectivity) {
 TEST(DegenerateInputTest, EmptyStreamRunsCleanly) {
   IncShrinkConfig cfg = DefaultTpcDsConfig();
   cfg.strategy = Strategy::kDpTimer;
-  Engine engine(cfg);
+  SynchronousDeployment engine(cfg);
   for (int t = 0; t < 30; ++t) {
     ASSERT_TRUE(engine.Step({}, {}).ok());
   }
@@ -168,7 +169,7 @@ TEST(DegenerateInputTest, EmptyStreamRunsCleanly) {
 TEST(DegenerateInputTest, SingleStepRun) {
   IncShrinkConfig cfg = DefaultTpcDsConfig();
   cfg.strategy = Strategy::kEp;
-  Engine engine(cfg);
+  SynchronousDeployment engine(cfg);
   ASSERT_TRUE(
       engine.Step({{1, 1, 7, 1, 0}}, {{1, 2, 7, 2, 0}}).ok());
   EXPECT_EQ(engine.step_metrics().back().true_count, 1u);
@@ -183,10 +184,10 @@ TEST(DegenerateInputTest, TimerLongerThanRunNeverFires) {
   TpcDsParams p;
   p.steps = 20;
   const GeneratedWorkload w = GenerateTpcDs(p);
-  Engine engine(cfg);
-  ASSERT_TRUE(engine.Run(w.t1, w.t2).ok());
-  EXPECT_EQ(engine.Summary().updates, 0u);
-  EXPECT_EQ(engine.view().size(), 0u);
+  SynchronousDeployment deployment(cfg);
+  ASSERT_TRUE(deployment.Run(w.t1, w.t2).ok());
+  EXPECT_EQ(deployment.Summary().updates, 0u);
+  EXPECT_EQ(deployment.engine().view().size(), 0u);
 }
 
 TEST(DegenerateInputTest, ZeroEpsRejected) {
@@ -206,14 +207,15 @@ TEST(TheoremSixTest, AntDeferredDataUnderBound) {
   TpcDsParams p;
   p.steps = 200;
   const GeneratedWorkload w = GenerateTpcDs(p);
-  Engine engine(cfg);
-  ASSERT_TRUE(engine.Run(w.t1, w.t2).ok());
+  SynchronousDeployment deployment(cfg);
+  ASSERT_TRUE(deployment.Run(w.t1, w.t2).ok());
+  const Engine& engine = deployment.engine();
 
   Party probe0(0, 1), probe1(1, 2);
   Protocol2PC probe(&probe0, &probe1, CostModel::Free());
   uint32_t deferred = 0;
-  for (size_t r = 0; r < engine.cache().rows().size(); ++r) {
-    deferred += engine.cache().rows().RecoverAt(r, 0) & 1;
+  for (size_t r = 0; r < engine.shard_cache(0).rows().size(); ++r) {
+    deferred += engine.shard_cache(0).rows().RecoverAt(r, 0) & 1;
   }
   const double bound =
       AntDeferredBound(cfg.budget_b, cfg.eps, p.steps, 0.05);

@@ -1,6 +1,7 @@
 #include <gtest/gtest.h>
 
 #include "src/core/engine.h"
+#include "src/core/owner_client.h"
 #include "src/workload/generators.h"
 
 namespace incshrink {
@@ -52,10 +53,10 @@ IncShrinkConfig MiniConfig(Strategy strategy) {
 
 RunSummary RunMini(Strategy strategy, uint64_t steps = 40) {
   const MiniStream s = MakeMiniStream(steps, 2, 2);
-  Engine engine(MiniConfig(strategy));
-  const Status st = engine.Run(s.t1, s.t2);
+  SynchronousDeployment deployment(MiniConfig(strategy));
+  const Status st = deployment.Run(s.t1, s.t2);
   EXPECT_TRUE(st.ok()) << st.ToString();
-  return engine.Summary();
+  return deployment.Summary();
 }
 
 TEST(EngineTest, EpHasZeroErrorOnLossFreeStream) {
@@ -116,7 +117,7 @@ TEST(EngineTest, QetOrderingMatchesPaper) {
 
 TEST(EngineTest, TranscriptShapesPerStrategy) {
   const MiniStream s = MakeMiniStream(12, 1, 1);
-  Engine dp(MiniConfig(Strategy::kDpTimer));
+  SynchronousDeployment dp(MiniConfig(Strategy::kDpTimer));
   ASSERT_TRUE(dp.Run(s.t1, s.t2).ok());
   int syncs = 0, uploads = 0, transforms = 0;
   for (const auto& e : dp.transcript()) {
@@ -138,7 +139,7 @@ TEST(EngineTest, TranscriptShapesPerStrategy) {
   EXPECT_EQ(transforms, 12);
   EXPECT_EQ(syncs, 3);  // T = 4 over 12 steps
 
-  Engine nm(MiniConfig(Strategy::kNm));
+  SynchronousDeployment nm(MiniConfig(Strategy::kNm));
   ASSERT_TRUE(nm.Run(s.t1, s.t2).ok());
   for (const auto& e : nm.transcript()) {
     EXPECT_EQ(e.kind, TranscriptEvent::Kind::kUpload);
@@ -147,7 +148,7 @@ TEST(EngineTest, TranscriptShapesPerStrategy) {
 
 TEST(EngineTest, StepMetricsAreConsistent) {
   const MiniStream s = MakeMiniStream(20, 2, 2);
-  Engine engine(MiniConfig(Strategy::kDpTimer));
+  SynchronousDeployment engine(MiniConfig(Strategy::kDpTimer));
   ASSERT_TRUE(engine.Run(s.t1, s.t2).ok());
   const auto& steps = engine.step_metrics();
   ASSERT_EQ(steps.size(), 20u);
@@ -171,27 +172,30 @@ TEST(EngineTest, StepMetricsAreConsistent) {
 TEST(EngineTest, OverflowQueueDelaysUploadsWithoutLosingRecords) {
   // Burst of 9 arrivals into batches of 3: drains over 3 steps.
   IncShrinkConfig cfg = MiniConfig(Strategy::kEp);
-  Engine engine(cfg);
+  SynchronousDeployment deployment(cfg);
   std::vector<LogicalRecord> burst;
   Word rid = 1;
   for (int i = 0; i < 9; ++i)
     burst.push_back({1, rid++, static_cast<Word>(100 + i), 1, 0});
-  ASSERT_TRUE(engine.Step(burst, {}).ok());
-  EXPECT_EQ(engine.store1().total_rows(), 3u);
-  ASSERT_TRUE(engine.Step({}, {}).ok());
-  ASSERT_TRUE(engine.Step({}, {}).ok());
-  EXPECT_EQ(engine.store1().total_rows(), 9u);
+  ASSERT_TRUE(deployment.Step(burst, {}).ok());
+  EXPECT_EQ(deployment.engine().store1().total_rows(), 3u);
+  EXPECT_EQ(deployment.owner1().pending(), 6u);  // queued at the owner
+  ASSERT_TRUE(deployment.Step({}, {}).ok());
+  ASSERT_TRUE(deployment.Step({}, {}).ok());
+  EXPECT_EQ(deployment.engine().store1().total_rows(), 9u);
+  EXPECT_EQ(deployment.owner1().pending(), 0u);
 }
 
 TEST(EngineTest, PublicT2UploadsUnpadded) {
   IncShrinkConfig cfg = MiniConfig(Strategy::kDpTimer);
   cfg.t2_is_public = true;
   cfg.join.cap_t2 = false;
-  Engine engine(cfg);
-  ASSERT_TRUE(engine.Step({}, {{1, 1, 5, 1, 0}, {1, 2, 6, 1, 0}}).ok());
-  EXPECT_EQ(engine.store2().batch(0).size(), 2u);  // exactly the arrivals
-  ASSERT_TRUE(engine.Step({}, {}).ok());
-  EXPECT_EQ(engine.store2().batch(1).size(), 0u);
+  SynchronousDeployment deployment(cfg);
+  ASSERT_TRUE(deployment.Step({}, {{1, 1, 5, 1, 0}, {1, 2, 6, 1, 0}}).ok());
+  EXPECT_EQ(deployment.engine().store2().batch(0).size(),
+            2u);  // exactly the arrivals
+  ASSERT_TRUE(deployment.Step({}, {}).ok());
+  EXPECT_EQ(deployment.engine().store2().batch(1).size(), 0u);
 }
 
 TEST(EngineTest, InvalidConfigRejected) {
@@ -203,6 +207,12 @@ TEST(EngineTest, InvalidConfigRejected) {
   EXPECT_FALSE(cfg.Validate().ok());
   cfg = MiniConfig(Strategy::kDpTimer);
   cfg.budget_b = 0;
+  EXPECT_FALSE(cfg.Validate().ok());
+  cfg = MiniConfig(Strategy::kDpTimer);
+  cfg.max_batches_per_step = 0;
+  EXPECT_FALSE(cfg.Validate().ok());
+  cfg = MiniConfig(Strategy::kDpTimer);
+  cfg.upload_channel_capacity = 0;
   EXPECT_FALSE(cfg.Validate().ok());
 }
 

@@ -5,6 +5,7 @@
 #include "src/common/stats.h"
 #include "src/core/engine.h"
 #include "src/core/multilevel.h"
+#include "src/core/owner_client.h"
 #include "src/core/upload_policy.h"
 #include "src/dp/allocation.h"
 #include "src/dp/laplace.h"
@@ -208,12 +209,14 @@ TEST(UploadPolicyComposedTest, EngineComposesEpsilons) {
   TpcDsParams p;
   p.steps = 60;
   const GeneratedWorkload w = GenerateTpcDs(p);
-  Engine engine(cfg);
-  ASSERT_TRUE(engine.Run(w.t1, w.t2).ok());
+  SynchronousDeployment deployment(cfg);
+  ASSERT_TRUE(deployment.Run(w.t1, w.t2).ok());
   // eps_total = eps_view + max(owner policies) = 1.5 + 0.5.
-  EXPECT_DOUBLE_EQ(engine.ComposedEpsilon(), 2.0);
+  EXPECT_DOUBLE_EQ(deployment.engine().ComposedEpsilon(), 2.0);
+  EXPECT_DOUBLE_EQ(deployment.owner1().PolicyEpsilon(), 0.5);
+  EXPECT_DOUBLE_EQ(deployment.owner2().PolicyEpsilon(), 0.25);
   // The composed system still answers with bounded error.
-  const RunSummary s = engine.Summary();
+  const RunSummary s = deployment.Summary();
   EXPECT_GT(s.updates, 2u);
   EXPECT_LT(s.l1_error.mean(),
             static_cast<double>(s.final_true_count));
@@ -232,8 +235,9 @@ TEST(UploadPolicyComposedTest, SimulatorStillReproducesTranscript) {
   TpcDsParams p;
   p.steps = 80;
   const GeneratedWorkload w = GenerateTpcDs(p);
-  Engine engine(cfg);
-  ASSERT_TRUE(engine.Run(w.t1, w.t2).ok());
+  SynchronousDeployment deployment(cfg);
+  ASSERT_TRUE(deployment.Run(w.t1, w.t2).ok());
+  const Engine& engine = deployment.engine();
   const Transcript simulated =
       SimulateTranscript(engine.releases(), engine.MakeSimulatorParams());
   EXPECT_EQ(simulated, engine.transcript());
@@ -279,7 +283,7 @@ std::vector<std::vector<LogicalRecord>> FilterStream(uint64_t steps) {
 TEST(FilterViewTest, EpAnswersExactly) {
   const auto t1 = FilterStream(40);
   const std::vector<std::vector<LogicalRecord>> t2(40);
-  Engine engine(FilterConfig(Strategy::kEp));
+  SynchronousDeployment engine(FilterConfig(Strategy::kEp));
   ASSERT_TRUE(engine.Run(t1, t2).ok());
   const RunSummary s = engine.Summary();
   EXPECT_GT(s.final_true_count, 10u);
@@ -289,7 +293,7 @@ TEST(FilterViewTest, EpAnswersExactly) {
 TEST(FilterViewTest, NmAnswersExactlyByScanningDs) {
   const auto t1 = FilterStream(40);
   const std::vector<std::vector<LogicalRecord>> t2(40);
-  Engine engine(FilterConfig(Strategy::kNm));
+  SynchronousDeployment engine(FilterConfig(Strategy::kNm));
   ASSERT_TRUE(engine.Run(t1, t2).ok());
   EXPECT_DOUBLE_EQ(engine.Summary().l1_error.max(), 0.0);
 }
@@ -297,7 +301,7 @@ TEST(FilterViewTest, NmAnswersExactlyByScanningDs) {
 TEST(FilterViewTest, DpTimerTracksWithNoise) {
   const auto t1 = FilterStream(60);
   const std::vector<std::vector<LogicalRecord>> t2(60);
-  Engine engine(FilterConfig(Strategy::kDpTimer));
+  SynchronousDeployment engine(FilterConfig(Strategy::kDpTimer));
   ASSERT_TRUE(engine.Run(t1, t2).ok());
   const RunSummary s = engine.Summary();
   EXPECT_GT(s.updates, 10u);
@@ -306,7 +310,7 @@ TEST(FilterViewTest, DpTimerTracksWithNoise) {
 }
 
 TEST(FilterViewTest, TransformOutputSizeEqualsBatchSize) {
-  Engine engine(FilterConfig(Strategy::kDpTimer));
+  SynchronousDeployment engine(FilterConfig(Strategy::kDpTimer));
   ASSERT_TRUE(engine.Step({{1, 1, 5, 1, 150}}, {}).ok());
   for (const auto& e : engine.transcript()) {
     if (e.kind == TranscriptEvent::Kind::kTransformOut) {
@@ -318,8 +322,9 @@ TEST(FilterViewTest, TransformOutputSizeEqualsBatchSize) {
 TEST(FilterViewTest, SimulatorReproducesFilterTranscript) {
   const auto t1 = FilterStream(48);
   const std::vector<std::vector<LogicalRecord>> t2(48);
-  Engine engine(FilterConfig(Strategy::kDpAnt));
-  ASSERT_TRUE(engine.Run(t1, t2).ok());
+  SynchronousDeployment deployment(FilterConfig(Strategy::kDpAnt));
+  ASSERT_TRUE(deployment.Run(t1, t2).ok());
+  const Engine& engine = deployment.engine();
   const Transcript simulated =
       SimulateTranscript(engine.releases(), engine.MakeSimulatorParams());
   EXPECT_EQ(simulated, engine.transcript());

@@ -21,6 +21,7 @@
 
 #include "src/core/config.h"
 #include "src/core/engine.h"
+#include "src/core/owner_client.h"
 #include "src/dp/transcript.h"
 #include "src/workload/generators.h"
 
@@ -105,9 +106,9 @@ TEST_P(GoldenTranscriptTest, MatchesBaseline) {
   config.strategy = gc.strategy;
   config.op = gc.op;
   config.flush_interval = 16;  // exercise flush events inside the stream
-  Engine engine(config);
-  ASSERT_TRUE(engine.Run(workload.t1, workload.t2).ok());
-  CheckGolden(gc.name, engine);
+  SynchronousDeployment deployment(config);
+  ASSERT_TRUE(deployment.Run(workload.t1, workload.t2).ok());
+  CheckGolden(gc.name, deployment.engine());
 }
 
 INSTANTIATE_TEST_SUITE_P(
@@ -158,9 +159,9 @@ TEST(GoldenTranscriptTest, FilterViewMatchesBaseline) {
       t1[t].push_back(rec);
     }
   }
-  Engine engine(config);
-  ASSERT_TRUE(engine.Run(t1, t2).ok());
-  CheckGolden("tpcds_filter_timer", engine);
+  SynchronousDeployment deployment(config);
+  ASSERT_TRUE(deployment.Run(t1, t2).ok());
+  CheckGolden("tpcds_filter_timer", deployment.engine());
 }
 
 }  // namespace

@@ -1,6 +1,7 @@
 #include <gtest/gtest.h>
 
 #include "src/core/engine.h"
+#include "src/core/owner_client.h"
 #include "src/dp/bounds.h"
 #include "src/dp/simulator.h"
 #include "src/workload/generators.h"
@@ -40,10 +41,10 @@ TEST_P(EndToEndTest, RunsAndTracksTruth) {
   IncShrinkConfig cfg;
   GeneratedWorkload w;
   MakeCase(cpdb, strategy, &cfg, &w);
-  Engine engine(cfg);
-  const Status st = engine.Run(w.t1, w.t2);
+  SynchronousDeployment deployment(cfg);
+  const Status st = deployment.Run(w.t1, w.t2);
   ASSERT_TRUE(st.ok()) << st.ToString();
-  const RunSummary s = engine.Summary();
+  const RunSummary s = deployment.engine().Summary();
   EXPECT_EQ(s.steps, w.steps());
   EXPECT_GT(s.final_true_count, 0u);
 
@@ -79,8 +80,9 @@ TEST_P(SimCdpTest, SimulatorReproducesRealTranscript) {
   IncShrinkConfig cfg;
   GeneratedWorkload w;
   MakeCase(cpdb, use_ant ? Strategy::kDpAnt : Strategy::kDpTimer, &cfg, &w);
-  Engine engine(cfg);
-  ASSERT_TRUE(engine.Run(w.t1, w.t2).ok());
+  SynchronousDeployment deployment(cfg);
+  ASSERT_TRUE(deployment.Run(w.t1, w.t2).ok());
+  const Engine& engine = deployment.engine();
 
   // The simulator sees ONLY the DP releases {(t, v_t)} plus public
   // parameters — never the data. It must reproduce the exact sequence of
@@ -113,8 +115,9 @@ TEST(TheoremBoundsIntegrationTest, TimerDeferredDataBounded) {
   IncShrinkConfig cfg = DefaultTpcDsConfig();
   cfg.strategy = Strategy::kDpTimer;
   cfg.flush_interval = 0;  // isolate the deferred-data process
-  Engine engine(cfg);
-  ASSERT_TRUE(engine.Run(w.t1, w.t2).ok());
+  SynchronousDeployment deployment(cfg);
+  ASSERT_TRUE(deployment.Run(w.t1, w.t2).ok());
+  const Engine& engine = deployment.engine();
 
   // Count deferred (real) entries left in the cache at the end and compare
   // with the Theorem-4 bound for k updates at beta = 0.05.
@@ -123,8 +126,8 @@ TEST(TheoremBoundsIntegrationTest, TimerDeferredDataBounded) {
   Party s0(0, 1), s1(1, 2);
   Protocol2PC probe(&s0, &s1, CostModel::Free());
   uint32_t deferred = 0;
-  for (size_t r = 0; r < engine.cache().rows().size(); ++r) {
-    deferred += engine.cache().rows().RecoverAt(r, 0) & 1;
+  for (size_t r = 0; r < engine.shard_cache(0).rows().size(); ++r) {
+    deferred += engine.shard_cache(0).rows().RecoverAt(r, 0) & 1;
   }
   // Subtract entries cached since the last update (c*, not "deferred").
   const double alpha = TimerDeferredBound(cfg.budget_b, cfg.eps, k, 0.05);
@@ -142,9 +145,10 @@ TEST(PrivacyLedgerIntegrationTest, RunsWithinBudgets) {
   const GeneratedWorkload w = GenerateTpcDs(p);
   IncShrinkConfig cfg = DefaultTpcDsConfig();
   cfg.strategy = Strategy::kDpTimer;
-  Engine engine(cfg);
+  SynchronousDeployment deployment(cfg);
   // Any ChargeParticipation overflow would surface as a non-OK status.
-  ASSERT_TRUE(engine.Run(w.t1, w.t2).ok());
+  ASSERT_TRUE(deployment.Run(w.t1, w.t2).ok());
+  const Engine& engine = deployment.engine();
   EXPECT_GT(engine.accountant().tracked_records(), 100u);
   EXPECT_DOUBLE_EQ(engine.accountant().EventLevelEpsilon(), cfg.eps);
 }
@@ -160,7 +164,7 @@ TEST(DeterminismTest, SameSeedSameResults) {
   IncShrinkConfig cfg = DefaultTpcDsConfig();
   cfg.strategy = Strategy::kDpAnt;
 
-  Engine a(cfg), b(cfg);
+  SynchronousDeployment a(cfg), b(cfg);
   ASSERT_TRUE(a.Run(w.t1, w.t2).ok());
   ASSERT_TRUE(b.Run(w.t1, w.t2).ok());
   ASSERT_EQ(a.step_metrics().size(), b.step_metrics().size());

@@ -22,6 +22,7 @@
 
 #include "src/common/thread_pool.h"
 #include "src/core/fleet.h"
+#include "src/core/owner_client.h"
 #include "src/workload/generators.h"
 #include "src/workload/runner.h"
 
@@ -281,9 +282,10 @@ TEST(DeploymentFleetTest, MatchesStandaloneEnginesWithDerivedSeeds) {
     IncShrinkConfig cfg = specs[i].config;
     cfg.seed = DeriveTenantSeed(kRoot, i);
     EXPECT_EQ(fleet.tenant_seed(i), cfg.seed);
-    Engine engine(cfg);
+    SynchronousDeployment deployment(cfg);
     ASSERT_TRUE(
-        engine.Run(specs[i].workload->t1, specs[i].workload->t2).ok());
+        deployment.Run(specs[i].workload->t1, specs[i].workload->t2).ok());
+    const Engine& engine = deployment.engine();
     ExpectSummaryIdentical(engine.Summary(), fleet.TenantSummary(i));
     // The whole observable transcript matches, event for event.
     EXPECT_EQ(engine.transcript(), fleet.engine(i).transcript());

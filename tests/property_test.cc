@@ -8,6 +8,7 @@
 
 #include "src/common/status.h"
 #include "src/core/engine.h"
+#include "src/core/owner_client.h"
 #include "src/dp/accountant.h"
 #include "src/dp/composition.h"
 #include "src/dp/laplace.h"
@@ -296,14 +297,15 @@ TEST_P(EngineConservationTest, RealRowsNeitherCreatedNorDestroyed) {
   TpcDsParams p;
   p.steps = 80;
   const GeneratedWorkload w = GenerateTpcDs(p);
-  Engine engine(cfg);
-  ASSERT_TRUE(engine.Run(w.t1, w.t2).ok());
+  SynchronousDeployment deployment(cfg);
+  ASSERT_TRUE(deployment.Run(w.t1, w.t2).ok());
+  const Engine& engine = deployment.engine();
 
   Party probe0(0, 1), probe1(1, 2);
   Protocol2PC probe(&probe0, &probe1, CostModel::Free());
   const uint32_t in_view = CountRealInside(&probe, engine.view().rows());
   const uint32_t in_cache =
-      CountRealInside(&probe, engine.cache().rows());
+      CountRealInside(&probe, engine.shard_cache(0).rows());
   EXPECT_EQ(in_view + in_cache,
             engine.Summary().total_real_entries_cached);
 }
@@ -323,7 +325,7 @@ TEST(EngineMonotonicityTest, ViewAnswerNeverExceedsTruth) {
   TpcDsParams p;
   p.steps = 100;
   const GeneratedWorkload w = GenerateTpcDs(p);
-  Engine engine(cfg);
+  SynchronousDeployment engine(cfg);
   ASSERT_TRUE(engine.Run(w.t1, w.t2).ok());
   for (const StepMetrics& m : engine.step_metrics()) {
     // The view holds a subset of the true join (dummies don't count).
@@ -344,8 +346,9 @@ TEST(ReleaseDistributionTest, TimerReleasesMatchMechanismModel) {
   TpcDsParams p;
   p.steps = 200;
   const GeneratedWorkload w = GenerateTpcDs(p);
-  Engine engine(cfg);
-  ASSERT_TRUE(engine.Run(w.t1, w.t2).ok());
+  SynchronousDeployment deployment(cfg);
+  ASSERT_TRUE(deployment.Run(w.t1, w.t2).ok());
+  const Engine& engine = deployment.engine();
 
   Rng mech_rng(9999);
   TimerLeakageMechanism mech(cfg.eps, cfg.budget_b, cfg.timer_T, &mech_rng);

@@ -1,6 +1,7 @@
 #include <gtest/gtest.h>
 
 #include "src/core/engine.h"
+#include "src/core/owner_client.h"
 #include "src/workload/generators.h"
 
 namespace incshrink {
@@ -43,7 +44,7 @@ TEST(ObliviousnessTest, TimerTranscriptSizesDependOnlyOnDpReleases) {
   MakeTwinStreams(60, &a, &b);
   IncShrinkConfig cfg = DefaultTpcDsConfig();
   cfg.strategy = Strategy::kDpTimer;
-  Engine ea(cfg), eb(cfg);
+  SynchronousDeployment ea(cfg), eb(cfg);
   ASSERT_TRUE(ea.Run(a.t1, a.t2).ok());
   ASSERT_TRUE(eb.Run(b.t1, b.t2).ok());
 
@@ -69,7 +70,7 @@ TEST(ObliviousnessTest, GateTraceIdenticalAcrossDataStreams) {
   MakeTwinStreams(40, &a, &b);
   IncShrinkConfig cfg = DefaultTpcDsConfig();
   cfg.strategy = Strategy::kEp;  // no DP-sized reads -> fully deterministic
-  Engine ea(cfg), eb(cfg);
+  SynchronousDeployment ea(cfg), eb(cfg);
   ASSERT_TRUE(ea.Run(a.t1, a.t2).ok());
   ASSERT_TRUE(eb.Run(b.t1, b.t2).ok());
   ASSERT_EQ(ea.step_metrics().size(), eb.step_metrics().size());
@@ -92,9 +93,9 @@ TEST(ShareUniformityTest, ViewSharesLookUniformRegardlessOfData) {
   IncShrinkConfig cfg = DefaultTpcDsConfig();
   cfg.strategy = Strategy::kEp;
   for (const GeneratedWorkload* w : {&a, &b}) {
-    Engine engine(cfg);
-    ASSERT_TRUE(engine.Run(w->t1, w->t2).ok());
-    const auto& shares0 = engine.view().rows().shares0();
+    SynchronousDeployment deployment(cfg);
+    ASSERT_TRUE(deployment.Run(w->t1, w->t2).ok());
+    const auto& shares0 = deployment.engine().view().rows().shares0();
     ASSERT_GT(shares0.size(), 1000u);
     int64_t bits = 0;
     for (Word s : shares0) bits += __builtin_popcount(s);
@@ -129,8 +130,9 @@ TEST(LeakageScopeTest, TranscriptContainsOnlySizes) {
   const GeneratedWorkload w = GenerateTpcDs(p);
   IncShrinkConfig cfg = DefaultTpcDsConfig();
   cfg.strategy = Strategy::kDpTimer;
-  Engine engine(cfg);
-  ASSERT_TRUE(engine.Run(w.t1, w.t2).ok());
+  SynchronousDeployment deployment(cfg);
+  ASSERT_TRUE(deployment.Run(w.t1, w.t2).ok());
+  const Engine& engine = deployment.engine();
   for (const auto& e : engine.transcript()) {
     switch (e.kind) {
       case TranscriptEvent::Kind::kUpload:
@@ -158,11 +160,13 @@ TEST(JointNoiseSecurityTest, NoiseDiffersAcrossHonestSeeds) {
   const GeneratedWorkload w = GenerateTpcDs(p);
 
   cfg.seed = 1;
-  Engine ea(cfg);
-  ASSERT_TRUE(ea.Run(w.t1, w.t2).ok());
+  SynchronousDeployment da(cfg);
+  ASSERT_TRUE(da.Run(w.t1, w.t2).ok());
+  const Engine& ea = da.engine();
   cfg.seed = 2;
-  Engine eb(cfg);
-  ASSERT_TRUE(eb.Run(w.t1, w.t2).ok());
+  SynchronousDeployment db(cfg);
+  ASSERT_TRUE(db.Run(w.t1, w.t2).ok());
+  const Engine& eb = db.engine();
 
   // Same data, same policy — but the jointly generated noise differs, so the
   // released sizes differ somewhere.

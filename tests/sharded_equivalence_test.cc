@@ -20,6 +20,7 @@
 
 #include "src/core/engine.h"
 #include "src/core/fleet.h"
+#include "src/core/owner_client.h"
 #include "src/dp/composition.h"
 #include "src/oblivious/cache_ops.h"
 #include "src/storage/sharded_cache.h"
@@ -147,8 +148,9 @@ TEST(ShardBudgetTest, EngineExposesComposedSlices) {
   for (const uint32_t shards : {1u, 4u}) {
     const IncShrinkConfig cfg =
         ShardTestConfig(Strategy::kDpTimer, shards, 1);
-    Engine engine(cfg);
-    ASSERT_TRUE(engine.Run(w.t1, w.t2).ok());
+    SynchronousDeployment engine_dep(cfg);
+    ASSERT_TRUE(engine_dep.Run(w.t1, w.t2).ok());
+    const Engine& engine = engine_dep.engine();
     ASSERT_EQ(engine.shard_epsilons().size(), shards);
     EXPECT_EQ(SequentialComposition(engine.shard_epsilons()), cfg.eps);
     // The owner-side composition story is untouched by sharding.
@@ -165,11 +167,13 @@ TEST(ShardedEquivalenceTest, UnshardedEngineIgnoresThreadKnob) {
   for (const Strategy strategy :
        {Strategy::kDpTimer, Strategy::kDpAnt, Strategy::kEp}) {
     SCOPED_TRACE(StrategyName(strategy));
-    Engine ref(ShardTestConfig(strategy, 1, 1));
-    ASSERT_TRUE(ref.Run(w.t1, w.t2).ok());
+    SynchronousDeployment ref_dep(ShardTestConfig(strategy, 1, 1));
+    ASSERT_TRUE(ref_dep.Run(w.t1, w.t2).ok());
+    const Engine& ref = ref_dep.engine();
     EXPECT_EQ(ref.shard_epsilons(), std::vector<double>{ref.config().eps});
-    Engine other(ShardTestConfig(strategy, 1, 8));
-    ASSERT_TRUE(other.Run(w.t1, w.t2).ok());
+    SynchronousDeployment other_dep(ShardTestConfig(strategy, 1, 8));
+    ASSERT_TRUE(other_dep.Run(w.t1, w.t2).ok());
+    const Engine& other = other_dep.engine();
     ExpectEngineIdentical(ref, other);
   }
 }
@@ -183,14 +187,16 @@ TEST(ShardedEquivalenceTest, ShardedRunsInvariantAcrossThreadCounts) {
   for (const Strategy strategy :
        {Strategy::kDpTimer, Strategy::kDpAnt, Strategy::kEp}) {
     for (const uint32_t shards : {2u, 4u}) {
-      Engine ref(ShardTestConfig(strategy, shards, 1));
-      ASSERT_TRUE(ref.Run(w.t1, w.t2).ok());
+      SynchronousDeployment ref_dep(ShardTestConfig(strategy, shards, 1));
+      ASSERT_TRUE(ref_dep.Run(w.t1, w.t2).ok());
+      const Engine& ref = ref_dep.engine();
       for (const int threads : {2, 8}) {
         SCOPED_TRACE(std::string(StrategyName(strategy)) + " shards=" +
                      std::to_string(shards) + " threads=" +
                      std::to_string(threads));
-        Engine run(ShardTestConfig(strategy, shards, threads));
-        ASSERT_TRUE(run.Run(w.t1, w.t2).ok());
+        SynchronousDeployment run_dep(ShardTestConfig(strategy, shards, threads));
+        ASSERT_TRUE(run_dep.Run(w.t1, w.t2).ok());
+        const Engine& run = run_dep.engine();
         ExpectEngineIdentical(ref, run);
       }
     }
@@ -207,8 +213,9 @@ TEST(ShardedConservationTest, PerShardCountersMatchShardContents) {
   IncShrinkConfig cfg = ShardTestConfig(Strategy::kDpTimer, 4, 2);
   cfg.timer_T = 1000;       // beyond the stream: never release ...
   cfg.flush_interval = 0;   // ... never flush: everything stays cached
-  Engine engine(cfg);
-  ASSERT_TRUE(engine.Run(w.t1, w.t2).ok());
+  SynchronousDeployment engine_dep(cfg);
+  ASSERT_TRUE(engine_dep.Run(w.t1, w.t2).ok());
+  const Engine& engine = engine_dep.engine();
 
   Party probe0(0, 1), probe1(1, 2);
   Protocol2PC probe(&probe0, &probe1, CostModel::Free());
@@ -228,8 +235,9 @@ TEST(ShardedConservationTest, ShardedViewLosesNothingWithoutFlushes) {
   for (const uint32_t shards : {2u, 4u}) {
     IncShrinkConfig cfg = ShardTestConfig(Strategy::kDpTimer, shards, 2);
     cfg.flush_interval = 0;  // flushing is the only lossy operation
-    Engine engine(cfg);
-    ASSERT_TRUE(engine.Run(w.t1, w.t2).ok());
+    SynchronousDeployment engine_dep(cfg);
+    ASSERT_TRUE(engine_dep.Run(w.t1, w.t2).ok());
+    const Engine& engine = engine_dep.engine();
     Party probe0(0, 1), probe1(1, 2);
     Protocol2PC probe(&probe0, &probe1, CostModel::Free());
     uint32_t cached_real = 0;
@@ -257,8 +265,9 @@ TEST(ShardedFleetTest, ShardedTenantsMatchStandaloneShardedEngines) {
   for (size_t i = 0; i < fleet.num_tenants(); ++i) {
     IncShrinkConfig standalone_cfg = cfg;
     standalone_cfg.seed = DeriveTenantSeed(99, i);
-    Engine standalone(standalone_cfg);
-    ASSERT_TRUE(standalone.Run(w.t1, w.t2).ok());
+    SynchronousDeployment standalone_dep(standalone_cfg);
+    ASSERT_TRUE(standalone_dep.Run(w.t1, w.t2).ok());
+    const Engine& standalone = standalone_dep.engine();
     SCOPED_TRACE("tenant " + std::to_string(i));
     ExpectEngineIdentical(standalone, fleet.engine(i));
   }

@@ -1,0 +1,331 @@
+// Upload transport layer (owner/engine decoupling satellite of the paper's
+// Section-3 architecture): UploadChannel semantics, OwnerClient backpressure
+// behavior, and the determinism contract of asynchronous draining — owners
+// running ahead of the servers by lead L, engines draining up to
+// max_batches_per_step frames per step, must produce summaries and
+// transcripts that are exactly equal at any worker count (and, when the
+// drain bound is 1, exactly equal to the lockstep deployment whatever the
+// lead). Runs under the TSan CI job alongside the other equivalence suites.
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "src/core/engine.h"
+#include "src/core/fleet.h"
+#include "src/core/owner_client.h"
+#include "src/net/upload_channel.h"
+#include "src/storage/serialization.h"
+#include "src/workload/generators.h"
+
+namespace incshrink {
+namespace {
+
+void ExpectStatIdentical(const RunningStat& a, const RunningStat& b) {
+  EXPECT_EQ(a.count(), b.count());
+  EXPECT_EQ(a.mean(), b.mean());
+  EXPECT_EQ(a.sum(), b.sum());
+  EXPECT_EQ(a.min(), b.min());
+  EXPECT_EQ(a.max(), b.max());
+}
+
+void ExpectSummaryIdentical(const RunSummary& a, const RunSummary& b) {
+  ExpectStatIdentical(a.l1_error, b.l1_error);
+  ExpectStatIdentical(a.relative_error, b.relative_error);
+  ExpectStatIdentical(a.true_count_stat, b.true_count_stat);
+  ExpectStatIdentical(a.qet_seconds, b.qet_seconds);
+  ExpectStatIdentical(a.transform_seconds, b.transform_seconds);
+  ExpectStatIdentical(a.shrink_seconds, b.shrink_seconds);
+  EXPECT_EQ(a.total_mpc_seconds, b.total_mpc_seconds);
+  EXPECT_EQ(a.total_query_seconds, b.total_query_seconds);
+  EXPECT_EQ(a.final_view_mb, b.final_view_mb);
+  EXPECT_EQ(a.final_view_rows, b.final_view_rows);
+  EXPECT_EQ(a.final_cache_rows, b.final_cache_rows);
+  EXPECT_EQ(a.updates, b.updates);
+  EXPECT_EQ(a.flushes, b.flushes);
+  EXPECT_EQ(a.steps, b.steps);
+  EXPECT_EQ(a.total_real_entries_cached, b.total_real_entries_cached);
+  EXPECT_EQ(a.final_true_count, b.final_true_count);
+}
+
+GeneratedWorkload SmallTpcDs() {
+  TpcDsParams p;
+  p.steps = 40;
+  p.seed = 21;
+  return GenerateTpcDs(p);
+}
+
+GeneratedWorkload SmallCpdb() {
+  CpdbParams p;
+  p.steps = 24;
+  p.seed = 31;
+  return GenerateCpdb(p);
+}
+
+// ---------------------------------------------------------------------------
+// UploadChannel: FIFO byte-frame queue with public backpressure
+// ---------------------------------------------------------------------------
+
+TEST(UploadChannelTest, FifoOrderAndCounters) {
+  UploadChannel ch(8);
+  EXPECT_TRUE(ch.empty());
+  EXPECT_EQ(ch.capacity(), 8u);
+  for (uint8_t i = 0; i < 5; ++i) {
+    ASSERT_TRUE(ch.TryPush({i, static_cast<uint8_t>(i + 1)}));
+  }
+  EXPECT_EQ(ch.depth(), 5u);
+  EXPECT_EQ(ch.frames_pushed(), 5u);
+  EXPECT_EQ(ch.bytes_pushed(), 10u);
+  EXPECT_EQ(ch.max_depth(), 5u);
+  std::vector<uint8_t> frame;
+  for (uint8_t i = 0; i < 5; ++i) {
+    ASSERT_TRUE(ch.TryPop(&frame));
+    EXPECT_EQ(frame, (std::vector<uint8_t>{i, static_cast<uint8_t>(i + 1)}));
+  }
+  EXPECT_FALSE(ch.TryPop(&frame));
+  EXPECT_EQ(ch.frames_popped(), 5u);
+  EXPECT_EQ(ch.push_rejects(), 0u);
+}
+
+TEST(UploadChannelTest, BackpressureRefusesWhenFull) {
+  UploadChannel ch(2);
+  ASSERT_TRUE(ch.TryPush({1}));
+  ASSERT_TRUE(ch.TryPush({2}));
+  EXPECT_TRUE(ch.full());
+  EXPECT_FALSE(ch.TryPush({3}));
+  EXPECT_EQ(ch.push_rejects(), 1u);
+  EXPECT_EQ(ch.depth(), 2u);
+  std::vector<uint8_t> frame;
+  ASSERT_TRUE(ch.TryPop(&frame));
+  EXPECT_EQ(frame, std::vector<uint8_t>{1});  // the refused frame never entered
+  EXPECT_TRUE(ch.TryPush({3}));
+  EXPECT_EQ(ch.max_depth(), 2u);
+}
+
+// ---------------------------------------------------------------------------
+// OwnerClient: backpressure leaves the owner's state untouched
+// ---------------------------------------------------------------------------
+
+TEST(OwnerClientTest, BackpressuredStepIsSideEffectFree) {
+  const IncShrinkConfig cfg = DefaultTpcDsConfig();
+  UploadChannel narrow(2);
+  UploadChannel wide(16);
+  OwnerClient stalled = MakeOwner1(cfg, &narrow);
+  OwnerClient fluent = MakeOwner1(cfg, &wide);  // identical seeds, no stall
+
+  const std::vector<LogicalRecord> arrivals = {{1, 1, 7, 1, 0},
+                                               {1, 2, 8, 1, 0}};
+  ASSERT_TRUE(stalled.TryStep(arrivals));
+  ASSERT_TRUE(stalled.TryStep({}));
+  ASSERT_TRUE(fluent.TryStep(arrivals));
+  ASSERT_TRUE(fluent.TryStep({}));
+
+  // Channel full: the refused step must not advance the clock, consume RNG
+  // draws, or queue the arrivals.
+  const uint64_t pending_before = stalled.pending();
+  EXPECT_FALSE(stalled.TryStep(arrivals));
+  EXPECT_FALSE(stalled.TryStep(arrivals));
+  EXPECT_EQ(stalled.clock(), 2u);
+  EXPECT_EQ(stalled.pending(), pending_before);
+
+  // Drain one frame and re-offer: the emitted frame must be byte-identical
+  // to the never-backpressured twin's third frame.
+  std::vector<uint8_t> drained;
+  ASSERT_TRUE(narrow.TryPop(&drained));
+  ASSERT_TRUE(stalled.TryStep(arrivals));
+  ASSERT_TRUE(fluent.TryStep(arrivals));
+  std::vector<uint8_t> skip, from_stalled, from_fluent;
+  ASSERT_TRUE(narrow.TryPop(&skip));
+  ASSERT_TRUE(narrow.TryPop(&from_stalled));
+  ASSERT_TRUE(wide.TryPop(&skip));
+  ASSERT_TRUE(wide.TryPop(&skip));
+  ASSERT_TRUE(wide.TryPop(&from_fluent));
+  EXPECT_EQ(from_stalled, from_fluent);
+}
+
+TEST(OwnerClientTest, EveryOwnerStepEmitsExactlyOneFrame) {
+  // A DP-timer policy uploads only every sync_interval steps, but the frame
+  // stream still ticks once per owner step (zero-row frames in between) —
+  // the frame *size* is the DP-protected observable, not its presence.
+  IncShrinkConfig cfg = DefaultTpcDsConfig();
+  cfg.upload_policy1.kind = UploadPolicyKind::kDpTimerSync;
+  cfg.upload_policy1.eps_sync = 1.0;
+  cfg.upload_policy1.sync_interval = 3;
+  UploadChannel ch(64);
+  OwnerClient owner = MakeOwner1(cfg, &ch);
+  for (int t = 0; t < 9; ++t) {
+    ASSERT_TRUE(owner.TryStep({{static_cast<uint64_t>(t + 1),
+                                static_cast<Word>(t + 1),
+                                static_cast<Word>(t + 1), 1, 0}}));
+  }
+  EXPECT_EQ(owner.frames_sent(), 9u);
+  EXPECT_EQ(ch.depth(), 9u);
+  int zero_row_frames = 0;
+  std::vector<uint8_t> raw;
+  while (ch.TryPop(&raw)) {
+    const Result<UploadFrame> frame = DecodeUploadFrame(raw);
+    ASSERT_TRUE(frame.ok());
+    if (frame->batch.size() == 0) ++zero_row_frames;
+    EXPECT_EQ(frame->arrivals.size(), 1u);  // truth rides every frame
+  }
+  EXPECT_EQ(zero_row_frames, 6);  // uploads fire at t = 3, 6, 9 only
+}
+
+// ---------------------------------------------------------------------------
+// Async equivalence: owner lead x engine threads
+// ---------------------------------------------------------------------------
+
+std::vector<DeploymentFleet::TenantSpec> AsyncTenants(
+    const GeneratedWorkload* tpcds, const GeneratedWorkload* cpdb,
+    uint32_t max_batches, uint32_t capacity) {
+  std::vector<DeploymentFleet::TenantSpec> tenants;
+  const struct {
+    const char* name;
+    bool cpdb;
+    Strategy strategy;
+  } kMix[] = {
+      {"tpcds-timer", false, Strategy::kDpTimer},
+      {"tpcds-ant", false, Strategy::kDpAnt},
+      {"tpcds-ep", false, Strategy::kEp},
+      {"cpdb-timer", true, Strategy::kDpTimer},
+      {"cpdb-ant", true, Strategy::kDpAnt},
+      {"tpcds-nm", false, Strategy::kNm},
+  };
+  for (const auto& m : kMix) {
+    DeploymentFleet::TenantSpec t;
+    t.name = m.name;
+    t.config = m.cpdb ? DefaultCpdbConfig() : DefaultTpcDsConfig();
+    t.config.strategy = m.strategy;
+    t.config.flush_interval = 16;
+    t.config.max_batches_per_step = max_batches;
+    t.config.upload_channel_capacity = capacity;
+    t.workload = m.cpdb ? cpdb : tpcds;
+    tenants.push_back(t);
+  }
+  return tenants;
+}
+
+TEST(AsyncEquivalenceTest, LeadIsInvariantWhenDrainBoundIsOne) {
+  // With max_batches_per_step == 1 the engine consumes exactly one owner
+  // step per engine step in owner order, so the drained frame sequence — and
+  // therefore every observable — is independent of how far owners run
+  // ahead. Every lead must match the lockstep deployment exactly.
+  const GeneratedWorkload tpcds = SmallTpcDs();
+  const GeneratedWorkload cpdb = SmallCpdb();
+  const uint64_t kRoot = 77;
+  const std::vector<DeploymentFleet::TenantSpec> specs =
+      AsyncTenants(&tpcds, &cpdb, /*max_batches=*/1, /*capacity=*/32);
+
+  for (const uint32_t lead : {0u, 3u, 16u}) {
+    SCOPED_TRACE("lead=" + std::to_string(lead));
+    DeploymentFleet fleet(specs, {kRoot, /*num_threads=*/2, lead});
+    fleet.RunAll();
+    EXPECT_TRUE(fleet.done());
+    for (size_t i = 0; i < specs.size(); ++i) {
+      SCOPED_TRACE(specs[i].name);
+      IncShrinkConfig cfg = specs[i].config;
+      cfg.seed = DeriveTenantSeed(kRoot, i);
+      SynchronousDeployment lockstep(cfg);
+      ASSERT_TRUE(
+          lockstep.Run(specs[i].workload->t1, specs[i].workload->t2).ok());
+      ExpectSummaryIdentical(lockstep.Summary(), fleet.TenantSummary(i));
+      EXPECT_EQ(lockstep.transcript(), fleet.engine(i).transcript());
+    }
+  }
+}
+
+TEST(AsyncEquivalenceTest, DrainOrderInvariantAcrossThreadCounts) {
+  // The acceptance matrix: owner lead in {0, 3, 16} x 1/2/8 engine threads,
+  // with a drain bound > 1 so backlogged engines really merge several owner
+  // steps per engine step. Summaries AND transcripts must be exactly equal
+  // across thread counts for every lead.
+  const GeneratedWorkload tpcds = SmallTpcDs();
+  const GeneratedWorkload cpdb = SmallCpdb();
+  const uint64_t kRoot = 99;
+  const std::vector<DeploymentFleet::TenantSpec> specs =
+      AsyncTenants(&tpcds, &cpdb, /*max_batches=*/4, /*capacity=*/32);
+
+  for (const uint32_t lead : {0u, 3u, 16u}) {
+    SCOPED_TRACE("lead=" + std::to_string(lead));
+    DeploymentFleet ref(specs, {kRoot, /*num_threads=*/1, lead});
+    ref.RunAll();
+    ASSERT_TRUE(ref.done());
+    for (const int threads : {2, 8}) {
+      SCOPED_TRACE("threads=" + std::to_string(threads));
+      DeploymentFleet fleet(specs, {kRoot, threads, lead});
+      fleet.RunAll();
+      ASSERT_TRUE(fleet.done());
+      for (size_t i = 0; i < specs.size(); ++i) {
+        SCOPED_TRACE(specs[i].name);
+        ExpectSummaryIdentical(ref.TenantSummary(i), fleet.TenantSummary(i));
+        EXPECT_EQ(ref.engine(i).transcript(), fleet.engine(i).transcript());
+      }
+    }
+  }
+}
+
+TEST(AsyncEquivalenceTest, BatchedDrainCatchesUpWithoutLosingRecords) {
+  // Owners race ahead; the engine, draining up to 4 owner steps per engine
+  // step, finishes in fewer steps — but every frame is drained, so the
+  // final synchronized truth and total uploaded rows match lockstep.
+  const GeneratedWorkload tpcds = SmallTpcDs();
+  const uint64_t kRoot = 5;
+  DeploymentFleet::TenantSpec spec;
+  spec.name = "catchup";
+  spec.config = DefaultTpcDsConfig();
+  spec.config.strategy = Strategy::kDpTimer;
+  spec.config.max_batches_per_step = 4;
+  spec.config.upload_channel_capacity = 32;
+  spec.workload = &tpcds;
+
+  DeploymentFleet fleet({spec}, {kRoot, /*num_threads=*/1,
+                                 /*owner_lead=*/16});
+  fleet.RunAll();
+  ASSERT_TRUE(fleet.done());
+  EXPECT_EQ(fleet.QueueDepth(0), 0u);
+
+  IncShrinkConfig cfg = spec.config;
+  cfg.seed = DeriveTenantSeed(kRoot, 0);
+  SynchronousDeployment lockstep(cfg);
+  ASSERT_TRUE(lockstep.Run(tpcds.t1, tpcds.t2).ok());
+
+  const RunSummary async_summary = fleet.TenantSummary(0);
+  const RunSummary lockstep_summary = lockstep.Summary();
+  EXPECT_LT(async_summary.steps, lockstep_summary.steps);
+  EXPECT_GT(async_summary.steps, lockstep_summary.steps / 4 - 1);
+  EXPECT_EQ(async_summary.final_true_count,
+            lockstep_summary.final_true_count);
+  EXPECT_EQ(fleet.engine(0).frames_drained(),
+            fleet.owner1(0).frames_sent() + fleet.owner2(0).frames_sent());
+  EXPECT_EQ(fleet.owner1(0).frames_sent(), tpcds.steps());
+}
+
+TEST(AsyncEquivalenceTest, BackpressureBoundsQueueDepthDeterministically) {
+  // A lead larger than the channel capacity must be clamped by public
+  // backpressure — rejects happen, the queue never exceeds capacity, and
+  // results remain thread-count invariant.
+  const GeneratedWorkload tpcds = SmallTpcDs();
+  const GeneratedWorkload cpdb = SmallCpdb();
+  const uint64_t kRoot = 13;
+  std::vector<DeploymentFleet::TenantSpec> specs =
+      AsyncTenants(&tpcds, &cpdb, /*max_batches=*/2, /*capacity=*/4);
+
+  DeploymentFleet ref(specs, {kRoot, /*num_threads=*/1, /*owner_lead=*/16});
+  ref.RunAll();
+  ASSERT_TRUE(ref.done());
+  const DeploymentFleet::FleetStats stats = ref.AggregateStats();
+  EXPECT_GT(stats.upload_backpressure, 0u);
+  EXPECT_LE(stats.max_queue_depth, 4u);
+
+  DeploymentFleet other(specs, {kRoot, /*num_threads=*/8, /*owner_lead=*/16});
+  other.RunAll();
+  for (size_t i = 0; i < specs.size(); ++i) {
+    SCOPED_TRACE(specs[i].name);
+    ExpectSummaryIdentical(ref.TenantSummary(i), other.TenantSummary(i));
+    EXPECT_EQ(ref.engine(i).transcript(), other.engine(i).transcript());
+  }
+}
+
+}  // namespace
+}  // namespace incshrink

@@ -1,0 +1,196 @@
+// OwnerUploader invariants (DP-Sync record-synchronization policies,
+// paper Section 8) plus UploadPolicyConfig validation:
+//  * the emitted batch-size sequence is a function of the arrival *count*
+//    process and the policy noise only — never of record contents — and
+//    under the fixed-size policy not even of the counts;
+//  * pending() tracks the Theorem-15 logical gap (records arrived minus
+//    real records uploaded) exactly, across all three policies;
+//  * Config::Validate rejects the degenerate policy parameters.
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "src/common/rng.h"
+#include "src/core/config.h"
+#include "src/core/upload_policy.h"
+#include "src/oblivious/formats.h"
+#include "src/workload/generators.h"
+
+namespace incshrink {
+namespace {
+
+UploadPolicyConfig Policy(UploadPolicyKind kind) {
+  UploadPolicyConfig p;
+  p.kind = kind;
+  p.eps_sync = 1.0;
+  p.sync_interval = 3;
+  p.sync_theta = 6;
+  return p;
+}
+
+/// Per-step arrival lists with the given counts; record contents are drawn
+/// from `rng` so two calls with different seeds share counts but nothing
+/// else.
+std::vector<std::vector<LogicalRecord>> StreamWithCounts(
+    const std::vector<size_t>& counts, Rng* rng) {
+  std::vector<std::vector<LogicalRecord>> stream(counts.size());
+  Word rid = 1;
+  for (size_t t = 0; t < counts.size(); ++t) {
+    for (size_t i = 0; i < counts[t]; ++i) {
+      stream[t].push_back({t + 1, rid++,
+                           static_cast<Word>(rng->Uniform(1u << 20)),
+                           static_cast<Word>(rng->Uniform(1000)),
+                           static_cast<Word>(rng->Uniform(1u << 30))});
+    }
+  }
+  return stream;
+}
+
+std::vector<uint64_t> EmittedSizes(
+    const UploadPolicyConfig& policy,
+    const std::vector<std::vector<LogicalRecord>>& stream,
+    uint64_t policy_seed, uint64_t share_seed) {
+  OwnerUploader up(policy, /*fixed_rows=*/4, /*is_public=*/false,
+                   policy_seed);
+  Rng share_rng(share_seed);
+  std::vector<uint64_t> sizes;
+  for (size_t t = 0; t < stream.size(); ++t) {
+    sizes.push_back(up.BuildBatch(t + 1, stream[t], &share_rng).size());
+  }
+  return sizes;
+}
+
+class UploadPolicyKindTest
+    : public ::testing::TestWithParam<UploadPolicyKind> {};
+
+TEST_P(UploadPolicyKindTest, SizesIgnoreRecordContents) {
+  // Same per-step counts, completely different record contents and share
+  // randomness: the size sequences must be identical — batch sizes may
+  // depend only on the (DP-protected) count process and the policy noise.
+  const std::vector<size_t> counts = {3, 0, 7, 1, 0, 0, 12, 2, 5, 0, 4, 9};
+  Rng content_a(101), content_b(202);
+  const auto stream_a = StreamWithCounts(counts, &content_a);
+  const auto stream_b = StreamWithCounts(counts, &content_b);
+  const UploadPolicyConfig policy = Policy(GetParam());
+  EXPECT_EQ(EmittedSizes(policy, stream_a, /*policy_seed=*/7, 1),
+            EmittedSizes(policy, stream_b, /*policy_seed=*/7, 2));
+}
+
+TEST_P(UploadPolicyKindTest, PendingMatchesTheorem15LogicalGap) {
+  // pending() is DP-Sync's logical gap: everything arrived and not yet
+  // uploaded as a *real* row. Recover each emitted batch and keep the exact
+  // ledger.
+  const std::vector<size_t> counts = {5, 2, 0, 9, 3, 0, 0, 8, 1, 6, 0, 2,
+                                      4, 0, 7};
+  Rng content(55);
+  const auto stream = StreamWithCounts(counts, &content);
+  OwnerUploader up(Policy(GetParam()), /*fixed_rows=*/4,
+                   /*is_public=*/false, /*seed=*/9);
+  Rng share_rng(3);
+  uint64_t arrived = 0, uploaded_real = 0;
+  for (size_t t = 0; t < stream.size(); ++t) {
+    arrived += stream[t].size();
+    const SharedRows batch = up.BuildBatch(t + 1, stream[t], &share_rng);
+    for (size_t r = 0; r < batch.size(); ++r) {
+      uploaded_real += batch.RecoverRow(r)[kSrcValidCol] & 1;
+    }
+    EXPECT_EQ(up.pending(), arrived - uploaded_real) << "step " << t + 1;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Policies, UploadPolicyKindTest,
+                         ::testing::Values(UploadPolicyKind::kFixedSize,
+                                           UploadPolicyKind::kDpTimerSync,
+                                           UploadPolicyKind::kDpAntSync),
+                         [](const auto& param_info) -> std::string {
+                           switch (param_info.param) {
+                             case UploadPolicyKind::kFixedSize:
+                               return "FixedSize";
+                             case UploadPolicyKind::kDpTimerSync:
+                               return "DpTimerSync";
+                             case UploadPolicyKind::kDpAntSync:
+                               return "DpAntSync";
+                           }
+                           return "Unknown";
+                         });
+
+TEST(UploadPolicyTest, FixedSizePolicyIgnoresArrivalCountsEntirely) {
+  // The non-DP baseline pads every step to exactly C_r rows whatever
+  // arrives — its size sequence is a public constant.
+  Rng content_a(1), content_b(2);
+  const auto heavy = StreamWithCounts({9, 9, 9, 9, 9, 9}, &content_a);
+  const auto light = StreamWithCounts({0, 1, 0, 0, 2, 0}, &content_b);
+  const UploadPolicyConfig policy = Policy(UploadPolicyKind::kFixedSize);
+  const auto sizes = EmittedSizes(policy, heavy, 7, 1);
+  EXPECT_EQ(sizes, EmittedSizes(policy, light, 7, 2));
+  for (const uint64_t s : sizes) EXPECT_EQ(s, 4u);
+}
+
+TEST(UploadPolicyTest, PolicyEpsilonHelperMatchesUploader) {
+  for (const UploadPolicyKind kind :
+       {UploadPolicyKind::kFixedSize, UploadPolicyKind::kDpTimerSync,
+        UploadPolicyKind::kDpAntSync}) {
+    const UploadPolicyConfig policy = Policy(kind);
+    OwnerUploader up(policy, 4, false, 1);
+    EXPECT_EQ(UploadPolicyEpsilon(policy), up.PolicyEpsilon());
+  }
+  EXPECT_EQ(UploadPolicyEpsilon(Policy(UploadPolicyKind::kFixedSize)), 0.0);
+}
+
+// ---------------------------------------------------------------------------
+// UploadPolicyConfig validation
+// ---------------------------------------------------------------------------
+
+TEST(UploadPolicyValidationTest, RejectsNonPositiveEpsForDpPolicies) {
+  for (const UploadPolicyKind kind :
+       {UploadPolicyKind::kDpTimerSync, UploadPolicyKind::kDpAntSync}) {
+    IncShrinkConfig cfg = DefaultTpcDsConfig();
+    cfg.upload_policy1 = Policy(kind);
+    ASSERT_TRUE(cfg.Validate().ok());
+    cfg.upload_policy1.eps_sync = 0;
+    EXPECT_FALSE(cfg.Validate().ok());
+    cfg.upload_policy1.eps_sync = -0.5;
+    EXPECT_FALSE(cfg.Validate().ok());
+  }
+  // The fixed-size policy carries no budget: eps_sync is ignored.
+  IncShrinkConfig cfg = DefaultTpcDsConfig();
+  cfg.upload_policy2.kind = UploadPolicyKind::kFixedSize;
+  cfg.upload_policy2.eps_sync = -1;
+  EXPECT_TRUE(cfg.Validate().ok());
+}
+
+TEST(UploadPolicyValidationTest, RejectsZeroSyncInterval) {
+  IncShrinkConfig cfg = DefaultTpcDsConfig();
+  cfg.upload_policy2 = Policy(UploadPolicyKind::kDpTimerSync);
+  ASSERT_TRUE(cfg.Validate().ok());
+  cfg.upload_policy2.sync_interval = 0;
+  EXPECT_FALSE(cfg.Validate().ok());
+  // Interval 0 is only meaningful for the timer policy.
+  cfg.upload_policy2.kind = UploadPolicyKind::kDpAntSync;
+  EXPECT_TRUE(cfg.Validate().ok());
+}
+
+TEST(UploadPolicyValidationTest, RejectsNegativeSyncTheta) {
+  IncShrinkConfig cfg = DefaultTpcDsConfig();
+  cfg.upload_policy1 = Policy(UploadPolicyKind::kDpAntSync);
+  ASSERT_TRUE(cfg.Validate().ok());
+  cfg.upload_policy1.sync_theta = -1;
+  EXPECT_FALSE(cfg.Validate().ok());
+  cfg.upload_policy1.sync_theta = 0;  // boundary: a zero threshold is legal
+  EXPECT_TRUE(cfg.Validate().ok());
+  // Theta only gates the SVT policy.
+  cfg.upload_policy1.kind = UploadPolicyKind::kDpTimerSync;
+  cfg.upload_policy1.sync_theta = -1;
+  EXPECT_TRUE(cfg.Validate().ok());
+}
+
+TEST(UploadPolicyValidationTest, BothPoliciesAreChecked) {
+  IncShrinkConfig cfg = DefaultTpcDsConfig();
+  cfg.upload_policy2 = Policy(UploadPolicyKind::kDpAntSync);
+  cfg.upload_policy2.sync_theta = -3;
+  EXPECT_FALSE(cfg.Validate().ok());
+}
+
+}  // namespace
+}  // namespace incshrink

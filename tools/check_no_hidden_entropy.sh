@@ -78,6 +78,24 @@ if [ "$fail" -ne 0 ]; then
   exit 1
 fi
 
+# Transport hygiene (upload-transport satellite): the channel layer carries
+# opaque byte frames and must stay entirely entropy-free — no Rng, no policy
+# state, nothing that could perturb a deterministic run from inside the
+# transport. Anything needing randomness (sharing, policy noise) belongs to
+# the OwnerClient above it.
+if [ -d src/net ]; then
+  hits=$(grep -rnE '\bRng\b|\brng\b|rng\.|rng->|\bseed\b|Laplace|Uniform\(|Next32|Next64' src/net 2>/dev/null)
+  if [ -n "$hits" ]; then
+    echo "FORBIDDEN randomness in the transport layer (src/net must be entropy-free):"
+    echo "$hits"
+    fail=1
+  fi
+fi
+
+if [ "$fail" -ne 0 ]; then
+  exit 1
+fi
+
 # Shard seed hygiene (sharded-secure-cache satellite): shard-local protocol
 # RNG state — the per-shard Party seeds and everything derived from them —
 # may only come from DeriveShardSeed, the public splitmix64 substream of the
