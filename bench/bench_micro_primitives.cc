@@ -6,6 +6,11 @@
 
 #include <benchmark/benchmark.h>
 
+#include <cinttypes>
+#include <cstdio>
+
+#include "src/common/logging.h"
+#include "src/common/thread_pool.h"
 #include "src/mpc/party.h"
 #include "src/mpc/protocol.h"
 #include "src/oblivious/cache_ops.h"
@@ -167,7 +172,156 @@ void BM_ObliviousCountWhere(benchmark::State& state) {
 }
 BENCHMARK(BM_ObliviousCountWhere)->Arg(1024)->Arg(8192);
 
+// ---------------------------------------------------------------------------
+// Scalar vs batched (layer-vectorized) primitive throughput
+// ---------------------------------------------------------------------------
+
+uint64_t Fnv1a64(uint64_t h, const std::vector<Word>& words) {
+  for (const Word w : words) {
+    h = (h ^ w) * 1099511628211ull;
+  }
+  return h;
+}
+
+uint64_t RowsFingerprint(const SharedRows& rows) {
+  uint64_t h = 1469598103934665603ull;
+  h = Fnv1a64(h, rows.shares0());
+  return Fnv1a64(h, rows.shares1());
+}
+
+/// The batched path must reproduce the scalar path bit for bit — checked
+/// here over FNV fingerprints of both share arrays so a silent divergence
+/// fails the bench run itself, not just the unit suite.
+void CheckSortFingerprints(size_t n, int threads) {
+  Rng rng(41 + n);
+  const SharedRows input = RandomViewRows(&rng, n);
+  Party a0(0, 51), a1(1, 52);
+  Protocol2PC scalar(&a0, &a1, CostModel::EmpLikeLan());
+  SharedRows s = input;
+  ObliviousSortScalar(&scalar, &s, kViewSortKeyCol, false);
+  Party b0(0, 51), b1(1, 52);
+  Protocol2PC batched(&b0, &b1, CostModel::EmpLikeLan());
+  ThreadPool pool(threads);
+  SharedRows b = input;
+  ObliviousSort(&batched, &b, kViewSortKeyCol, false, BatchExec{&pool, 1});
+  INCSHRINK_CHECK_EQ(RowsFingerprint(s), RowsFingerprint(b));
+  INCSHRINK_CHECK_EQ(scalar.Snapshot().and_gates,
+                     batched.Snapshot().and_gates);
+}
+
+/// Shared measurement body: rows/sec and (simulated) gates/sec of an
+/// n-row oblivious sort under `run`.
+template <typename RunFn>
+void SortThroughputLoop(benchmark::State& state, size_t n, RunFn&& run) {
+  Party s0(0, 1), s1(1, 2);
+  Protocol2PC proto(&s0, &s1, CostModel::EmpLikeLan());
+  Rng rng(3);
+  uint64_t gates = 0;
+  for (auto _ : state) {
+    state.PauseTiming();
+    SharedRows rows = RandomViewRows(&rng, n);
+    const CircuitStats before = proto.Snapshot();
+    state.ResumeTiming();
+    run(&proto, &rows);
+    state.PauseTiming();
+    gates += proto.Snapshot().Diff(before).and_gates;
+    state.ResumeTiming();
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations() * n));
+  state.counters["gates_per_s"] = benchmark::Counter(
+      static_cast<double>(gates), benchmark::Counter::kIsRate);
+}
+
+void BM_ObliviousSortScalar(benchmark::State& state) {
+  const size_t n = static_cast<size_t>(state.range(0));
+  SortThroughputLoop(state, n, [](Protocol2PC* proto, SharedRows* rows) {
+    ObliviousSortScalar(proto, rows, kViewSortKeyCol, false);
+  });
+}
+BENCHMARK(BM_ObliviousSortScalar)->Arg(256)->Arg(1024)->Arg(4096);
+
+void BM_ObliviousSortBatched(benchmark::State& state) {
+  const size_t n = static_cast<size_t>(state.range(0));
+  const int threads = static_cast<int>(state.range(1));
+  CheckSortFingerprints(n, threads);
+  ThreadPool pool(threads);
+  const BatchExec exec{&pool, 128};
+  SortThroughputLoop(state, n,
+                     [&exec](Protocol2PC* proto, SharedRows* rows) {
+                       ObliviousSort(proto, rows, kViewSortKeyCol, false,
+                                     exec);
+                     });
+}
+BENCHMARK(BM_ObliviousSortBatched)
+    ->ArgsProduct({{256, 1024, 4096}, {1, 2, 8}});
+
+void BM_ObliviousCountBatched(benchmark::State& state) {
+  const size_t n = static_cast<size_t>(state.range(0));
+  const size_t num_tasks = 8;
+  Party s0(0, 1), s1(1, 2);
+  Protocol2PC proto(&s0, &s1, CostModel::EmpLikeLan());
+  Rng rng(7);
+  std::vector<SharedRows> tables;
+  for (size_t k = 0; k < num_tasks; ++k) {
+    tables.push_back(RandomViewRows(&rng, n));
+  }
+  const ObliviousPredicate pred = ObliviousPredicate::True();
+  std::vector<CountWhereTask> tasks;
+  for (const SharedRows& t : tables) {
+    tasks.push_back({&t, kViewIsViewCol, pred.and_gates_per_row, &pred.eval});
+  }
+  std::vector<WordShares> out(tasks.size());
+  uint64_t gates = 0;
+  for (auto _ : state) {
+    const CircuitStats before = proto.Snapshot();
+    proto.CountWhereBatch(tasks.data(), tasks.size(), out.data());
+    gates += proto.Snapshot().Diff(before).and_gates;
+    benchmark::DoNotOptimize(out.data());
+  }
+  state.SetItemsProcessed(
+      static_cast<int64_t>(state.iterations() * n * num_tasks));
+  state.counters["gates_per_s"] = benchmark::Counter(
+      static_cast<double>(gates), benchmark::Counter::kIsRate);
+}
+BENCHMARK(BM_ObliviousCountBatched)->Arg(1024)->Arg(8192);
+
+/// Prints the per-layer batch-size histogram of the n-row sorting network:
+/// the layer structure *is* the batching opportunity (each line is one
+/// fused CompareExchangeRowsBatch submission on the hot path).
+void PrintLayerHistogram(size_t n) {
+  const std::vector<uint64_t> sizes = SortNetworkLayerSizes(n);
+  uint64_t total = 0;
+  for (const uint64_t s : sizes) total += s;
+  std::printf("sort network n=%zu: %zu layers, %" PRIu64
+              " compare-exchanges\n",
+              n, sizes.size(), total);
+  // Bucket layer widths by power of two.
+  std::vector<uint64_t> buckets;
+  for (const uint64_t s : sizes) {
+    size_t b = 0;
+    while ((1ull << (b + 1)) <= s) ++b;
+    if (buckets.size() <= b) buckets.resize(b + 1, 0);
+    ++buckets[b];
+  }
+  for (size_t b = 0; b < buckets.size(); ++b) {
+    if (buckets[b] == 0) continue;
+    std::printf("  layer size [%llu, %llu): %" PRIu64 " layers\n",
+                static_cast<unsigned long long>(1ull << b),
+                static_cast<unsigned long long>(1ull << (b + 1)),
+                buckets[b]);
+  }
+}
+
 }  // namespace
 }  // namespace incshrink
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  for (const size_t n : {256u, 1024u, 4096u}) {
+    incshrink::PrintLayerHistogram(n);
+  }
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

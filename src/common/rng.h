@@ -24,8 +24,20 @@ class Rng {
     return std::numeric_limits<uint64_t>::max();
   }
 
-  /// Returns the next 64 uniform bits.
-  uint64_t Next64();
+  /// Returns the next 64 uniform bits. Inline: this sits in the innermost
+  /// loop of every batched resharing-mask draw and share-randomization path,
+  /// where an out-of-line call per word was the dominant non-kernel cost.
+  uint64_t Next64() {
+    const uint64_t result = Rotl(s_[1] * 5, 7) * 9;
+    const uint64_t t = s_[1] << 17;
+    s_[2] ^= s_[0];
+    s_[3] ^= s_[1];
+    s_[1] ^= s_[2];
+    s_[0] ^= s_[3];
+    s_[2] ^= t;
+    s_[3] = Rotl(s_[3], 45);
+    return result;
+  }
   result_type operator()() { return Next64(); }
 
   /// Returns the next 32 uniform bits.
@@ -58,6 +70,10 @@ class Rng {
   bool Bernoulli(double p) { return NextDouble() < p; }
 
  private:
+  static uint64_t Rotl(uint64_t x, int k) {
+    return (x << k) | (x >> (64 - k));
+  }
+
   uint64_t s_[4];
   bool have_cached_normal_ = false;
   double cached_normal_ = 0.0;

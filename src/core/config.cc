@@ -40,6 +40,9 @@ Status IncShrinkConfig::Validate() const {
                                    "a configuration error");
   if (cache_shard_threads < 0)
     return Status::InvalidArgument("cache_shard_threads must be >= 0");
+  if (oblivious_batch_min_layer == 0)
+    return Status::InvalidArgument(
+        "oblivious_batch_min_layer must be >= 1 (1 = always pool-split)");
   for (const UploadPolicyConfig* policy :
        {&upload_policy1, &upload_policy2}) {
     if (policy->kind != UploadPolicyKind::kFixedSize &&

@@ -86,6 +86,15 @@ struct IncShrinkConfig {
   /// capped at the shard count. Never affects results, only wall time.
   int cache_shard_threads = 0;
 
+  // --- batched oblivious execution ---
+  /// Minimum combined compare-exchange count of a sorting-network layer (or
+  /// fused cross-shard layer round) before the batch executor splits it
+  /// across the deployment's ThreadPool; smaller layers run the serial
+  /// batch kernel on the submitting thread. Purely a scheduling threshold:
+  /// results are bit-identical at any value and any worker count (batched
+  /// submissions pre-draw their resharing masks in scalar call order).
+  uint32_t oblivious_batch_min_layer = 128;
+
   // --- owner update policy ---
   uint32_t upload_rows_t1 = 8;  ///< C_r for the T1 owner (fixed-size policy)
   uint32_t upload_rows_t2 = 8;  ///< C_r for the T2 owner

@@ -73,6 +73,9 @@ Engine::Engine(const IncShrinkConfig& config)
                              config_.cache_shard_threads)),
                          cache_.num_shards())));
   }
+  // The transform's join/compaction sorts share the deployment's batch
+  // execution policy (and pool) with the Shrink-phase cache sorts.
+  transform_.set_sort_exec(batch_exec());
 }
 
 uint64_t Engine::MaterializeAll() {
@@ -119,9 +122,34 @@ uint64_t Engine::AnswerQuery(double* seconds) {
   return answer;
 }
 
+void Engine::ForEachShard(const std::function<void(size_t)>& body) {
+  const size_t num = cache_.num_shards();
+  if (shard_pool_ != nullptr) {
+    shard_pool_->ParallelFor(num, body);
+  } else {
+    for (size_t k = 0; k < num; ++k) body(k);
+  }
+}
+
 Status Engine::Step() {
+  INCSHRINK_RETURN_NOT_OK(BeginStep());
+  return FinishStep();
+}
+
+Status Engine::BeginStep() {
+  INCSHRINK_CHECK(pending_ == nullptr);
+  pending_ = std::make_unique<PendingStep>();
+  const Status st = BeginStepImpl();
+  // A rejected step (malformed peer frame) must leave the engine steppable:
+  // drop the half-built step state so the next Begin/Step starts clean.
+  if (!st.ok()) pending_.reset();
+  return st;
+}
+
+Status Engine::BeginStepImpl() {
+  PendingStep& p = *pending_;
   ++t_;
-  StepMetrics m;
+  StepMetrics& m = p.m;
   m.t = t_;
 
   // Drain queued owner frames: at most max_batches_per_step per channel, in
@@ -202,52 +230,29 @@ Status Engine::Step() {
     real_entries_per_step_.push_back(0);
   }
 
-  LeakageRelease release{t_, 0, false};
+  p.release = LeakageRelease{t_, 0, false};
   switch (config_.strategy) {
     case Strategy::kDpTimer:
     case Strategy::kDpAnt: {
-      // Per-shard Shrink + flush. Every shard steps on its own protocol
-      // instance into its own staging views, so the K tasks share no
-      // mutable state; with K > 1 they run concurrently on the shard pool.
-      // Merging then walks shards in fixed index order, which makes the
-      // view contents, transcript and metrics bit-identical at any worker
-      // count — and, for K == 1, identical to the unsharded engine.
+      // Per-shard Shrink plans. Every shard plans on its own protocol
+      // instance, so the K tasks share no mutable state; with K > 1 they
+      // run concurrently on the shard pool. The fired shards' cache sorts
+      // become one fused batch submission (executed by FinishStep, or by
+      // the fleet when it coalesces sorts across tenants).
+      p.dp = true;
       const size_t num = cache_.num_shards();
-      std::vector<ShrinkResult> syncs(num);
-      std::vector<ShrinkResult> flushes(num);
-      std::vector<MaterializedView> staged_sync(num);
-      std::vector<MaterializedView> staged_flush(num);
-      const auto run_shard = [&](size_t k) {
+      p.plans.resize(num);
+      p.staged_sync.resize(num);
+      ForEachShard([&](size_t k) {
         SecureCache* shard = &cache_.shard(k);
-        syncs[k] = !timers_.empty()
-                       ? timers_[k]->Step(t_, shard, &staged_sync[k])
-                       : ants_[k]->Step(t_, shard, &staged_sync[k]);
-        flushes[k] = MaybeFlushCache(cache_.shard_proto(k),
-                                     shard_configs_[k], t_, shard,
-                                     &staged_flush[k]);
-      };
-      if (shard_pool_ != nullptr) {
-        shard_pool_->ParallelFor(num, run_shard);
-      } else {
-        run_shard(0);
-      }
+        p.plans[k] = !timers_.empty() ? timers_[k]->Plan(t_, shard)
+                                      : ants_[k]->Plan(t_, shard);
+      });
       for (size_t k = 0; k < num; ++k) {
-        m.shrink_seconds += syncs[k].simulated_seconds;
-        if (syncs[k].fired) {
-          m.synced = true;
-          m.sync_rows += syncs[k].sync_rows;
-          release.size += syncs[k].released_size;
-          release.fired = true;
-          view_.Append(staged_sync[k].rows());
-          transcript_.push_back(
-              {TranscriptEvent::Kind::kSync, t_, syncs[k].sync_rows});
-        }
-        if (flushes[k].fired) {
-          m.flushed = true;
-          m.shrink_seconds += flushes[k].simulated_seconds;
-          view_.Append(staged_flush[k].rows());
-          transcript_.push_back(
-              {TranscriptEvent::Kind::kFlush, t_, flushes[k].sync_rows});
+        if (p.plans[k].fired) {
+          p.jobs.push_back(SortJob{cache_.shard_proto(k),
+                                   cache_.shard(k).rows(), kViewSortKeyCol,
+                                   0, /*lex=*/false, /*ascending=*/false});
         }
       }
       break;
@@ -267,7 +272,88 @@ Status Engine::Step() {
     case Strategy::kNm:
       break;
   }
-  releases_.push_back(release);
+  return Status::OK();
+}
+
+std::vector<SortJob> Engine::TakePendingSortJobs() {
+  INCSHRINK_CHECK(pending_ != nullptr);
+  pending_->jobs_taken = true;
+  return std::move(pending_->jobs);
+}
+
+Status Engine::FinishStep() {
+  INCSHRINK_CHECK(pending_ != nullptr);
+  PendingStep& p = *pending_;
+  StepMetrics& m = p.m;
+
+  if (p.dp) {
+    const size_t num = cache_.num_shards();
+    // Fused sync sorts of the fired shards (unless the caller already
+    // executed the jobs it took): one cross-shard batch submission whose
+    // layer rounds pool all shards' pair work on the deployment pool.
+    if (!p.jobs_taken && !p.jobs.empty()) {
+      ObliviousSortBatch(p.jobs.data(), p.jobs.size(), batch_exec());
+    }
+    std::vector<ShrinkResult> syncs(num);
+    ForEachShard([&](size_t k) {
+      if (!p.plans[k].fired) {
+        syncs[k] = p.plans[k].early;
+        return;
+      }
+      SecureCache* shard = &cache_.shard(k);
+      syncs[k] = !timers_.empty()
+                     ? timers_[k]->Commit(p.plans[k], shard,
+                                          &p.staged_sync[k])
+                     : ants_[k]->Commit(p.plans[k], shard,
+                                        &p.staged_sync[k]);
+    });
+
+    // Flush phase: public schedule, so one fused submission sorts every
+    // shard's remaining cache, then the fixed-prefix commits run per shard.
+    std::vector<ShrinkResult> flushes(num);
+    std::vector<MaterializedView> staged_flush(num);
+    if (FlushDue(config_, t_)) {
+      std::vector<CircuitStats> before(num);
+      std::vector<SortJob> flush_jobs;
+      flush_jobs.reserve(num);
+      for (size_t k = 0; k < num; ++k) {
+        before[k] = cache_.shard_proto(k)->Snapshot();
+        flush_jobs.push_back(SortJob{cache_.shard_proto(k),
+                                     cache_.shard(k).rows(), kViewSortKeyCol,
+                                     0, /*lex=*/false, /*ascending=*/false});
+      }
+      ObliviousSortBatch(flush_jobs.data(), flush_jobs.size(), batch_exec());
+      ForEachShard([&](size_t k) {
+        flushes[k] = CommitFlush(cache_.shard_proto(k), shard_configs_[k],
+                                 &cache_.shard(k), &staged_flush[k],
+                                 before[k]);
+      });
+    }
+
+    // Fixed shard-order merge — the exact pre-fusion loop, so the view
+    // contents, transcript and metrics are bit-identical at any worker
+    // count (and, for K == 1, identical to the unsharded engine).
+    for (size_t k = 0; k < num; ++k) {
+      m.shrink_seconds += syncs[k].simulated_seconds;
+      if (syncs[k].fired) {
+        m.synced = true;
+        m.sync_rows += syncs[k].sync_rows;
+        p.release.size += syncs[k].released_size;
+        p.release.fired = true;
+        view_.Append(p.staged_sync[k].rows());
+        transcript_.push_back(
+            {TranscriptEvent::Kind::kSync, t_, syncs[k].sync_rows});
+      }
+      if (flushes[k].fired) {
+        m.flushed = true;
+        m.shrink_seconds += flushes[k].simulated_seconds;
+        view_.Append(staged_flush[k].rows());
+        transcript_.push_back(
+            {TranscriptEvent::Kind::kFlush, t_, flushes[k].sync_rows});
+      }
+    }
+  }
+  releases_.push_back(p.release);
 
   // Analyst query.
   m.view_answer = AnswerQuery(&m.query_seconds);
@@ -278,6 +364,7 @@ Status Engine::Step() {
   m.view_rows = view_.size();
   m.cache_rows = cache_.size();
   metrics_.push_back(m);
+  pending_.reset();
   return Status::OK();
 }
 

@@ -17,6 +17,7 @@
 #include "src/mpc/party.h"
 #include "src/mpc/protocol.h"
 #include "src/net/upload_channel.h"
+#include "src/oblivious/sort.h"
 #include "src/relational/growing_table.h"
 #include "src/relational/query.h"
 #include "src/storage/materialized_view.h"
@@ -70,6 +71,31 @@ class Engine {
   /// strategy clock with an empty upload.
   Status Step();
 
+  // ------------------------------------------------------------------
+  // Phase-split stepping (cross-tenant sort coalescing).
+  //
+  // BeginStep runs the step through the Shrink plans (drain, transform,
+  // per-shard timer/ANT decisions), TakePendingSortJobs exposes the fired
+  // shards' cache sorts as batchable jobs, and FinishStep completes the
+  // step (sync commits, flush phase, analyst query). BeginStep + execute
+  // jobs + FinishStep is bit-identical to Step() at any thread count;
+  // Step() itself is implemented exactly that way, executing the jobs on
+  // the deployment-local pool. DeploymentFleet uses the split to fuse
+  // same-shaped sorts across tenants into one batch submission per round.
+  // ------------------------------------------------------------------
+
+  /// First phase of Step(). Must be balanced by FinishStep().
+  Status BeginStep();
+
+  /// The fired shards' pending cache sorts (empty for non-DP strategies or
+  /// quiet steps). The caller assumes responsibility for executing every
+  /// returned job (ObliviousSortBatch) before calling FinishStep; jobs left
+  /// untaken are executed by FinishStep itself.
+  std::vector<SortJob> TakePendingSortJobs();
+
+  /// Second phase of Step().
+  Status FinishStep();
+
   /// Inbound upload channel of the T1 owner (server-side endpoint).
   UploadChannel* channel1() { return &channel1_; }
   /// Inbound upload channel of the T2 owner (unused by filter views).
@@ -98,11 +124,6 @@ class Engine {
   /// Shard `k` of the secure cache — the whole cache is shard 0 in the
   /// (default) unsharded deployment.
   const SecureCache& shard_cache(size_t k) const { return cache_.shard(k); }
-  /// Deprecated: returned only shard 0, silently ignoring shards 1..K-1 of
-  /// a sharded deployment. Use shard_cache(k) (or sharded_cache() for the
-  /// whole structure) instead.
-  [[deprecated("cache() is shard 0 only; use shard_cache(k)")]]
-  const SecureCache& cache() const { return shard_cache(0); }
   const ShardedSecureCache& sharded_cache() const { return cache_; }
   /// Per-shard view-update budget slices; SequentialComposition over them
   /// equals config().eps exactly (== {eps} when unsharded).
@@ -138,12 +159,34 @@ class Engine {
   AdHocResult AnswerAdHocQuery(const AnalystQuery& query);
 
  private:
+  /// In-flight state between BeginStep and FinishStep.
+  struct PendingStep {
+    StepMetrics m;
+    LeakageRelease release{0, 0, false};
+    bool dp = false;               ///< DP strategy: shard plans pending
+    std::vector<ShrinkPlan> plans;
+    std::vector<MaterializedView> staged_sync;
+    std::vector<SortJob> jobs;     ///< fired shards' sync sorts
+    bool jobs_taken = false;       ///< caller executes them before Finish
+  };
+
   /// Answers this step's COUNT query; returns the revealed answer and
   /// records the simulated QET in *seconds.
   uint64_t AnswerQuery(double* seconds);
 
   /// Moves the whole cache straight into the view (EP / OTM materialize).
   uint64_t MaterializeAll();
+
+  /// Runs body(k) over all shards, on the shard pool when one exists.
+  void ForEachShard(const std::function<void(size_t)>& body);
+
+  /// Body of BeginStep (wrapped so error returns reset the pending state).
+  Status BeginStepImpl();
+
+  /// Batch execution policy of this deployment's oblivious submissions.
+  BatchExec batch_exec() {
+    return BatchExec{shard_pool_.get(), config_.oblivious_batch_min_layer};
+  }
 
   IncShrinkConfig config_;
   UploadChannel channel1_;
@@ -168,6 +211,7 @@ class Engine {
   std::unique_ptr<ThreadPool> shard_pool_;
   WindowJoinCounter truth_;
 
+  std::unique_ptr<PendingStep> pending_;  ///< set between Begin/FinishStep
   uint64_t filter_truth_ = 0;  ///< ground truth for filter views
   uint64_t frames_drained_ = 0;
   uint64_t t_ = 0;

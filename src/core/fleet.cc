@@ -21,6 +21,8 @@ DeploymentFleet::DeploymentFleet(std::vector<TenantSpec> tenants,
     : tenants_(std::move(tenants)),
       cursor_(tenants_.size(), 0),
       owner_lead_(options.owner_lead),
+      coalesce_sorts_(options.coalesce_sorts),
+      batch_min_layer_(options.batch_min_layer),
       // Workers beyond the tenant count would only collect idle wakeups
       // every StepAll round.
       pool_(static_cast<int>(std::min<size_t>(
@@ -68,6 +70,11 @@ size_t DeploymentFleet::StepAll() {
   }
   if (live.empty()) return 0;
   ++rounds_;
+  // Phase A — per-tenant, concurrent: owner pushes plus either the whole
+  // engine step (unfused) or its BeginStep half (coalescing). Each task
+  // touches only tenant i's state.
+  std::vector<std::vector<SortJob>> tenant_jobs(live.size());
+  std::vector<uint8_t> stepped(live.size(), 0);
   pool_.ParallelFor(live.size(), [&](size_t k) {
     const size_t i = live[k];
     const GeneratedWorkload& w = *tenants_[i].workload;
@@ -91,9 +98,36 @@ size_t DeploymentFleet::StepAll() {
     // Engine phase: step iff frames are queued; a backlogged tenant drains
     // up to max_batches_per_step owner steps in this one engine step.
     if (engine.queue_depth() > 0) {
-      const Status st = engine.Step();
-      INCSHRINK_CHECK(st.ok());
+      if (!coalesce_sorts_) {
+        INCSHRINK_CHECK(engine.Step().ok());
+      } else {
+        INCSHRINK_CHECK(engine.BeginStep().ok());
+        tenant_jobs[k] = engine.TakePendingSortJobs();
+        stepped[k] = 1;
+      }
     }
+  });
+  if (!coalesce_sorts_) return live.size();
+
+  // Phase B — the fused cross-tenant submission: every fired shard sort of
+  // every stepped tenant advances through its network in shared layer
+  // rounds on the fleet pool. Jobs run on pairwise-distinct protocols (one
+  // per tenant shard), so each tenant's randomness stream and cost totals
+  // are exactly those of an unfused round.
+  std::vector<SortJob> fused;
+  for (std::vector<SortJob>& jobs : tenant_jobs) {
+    fused.insert(fused.end(), jobs.begin(), jobs.end());
+  }
+  if (!fused.empty()) {
+    ObliviousSortBatch(fused.data(), fused.size(),
+                       BatchExec{&pool_, batch_min_layer_});
+    fused_sort_jobs_ += fused.size();
+    ++fused_sort_submissions_;
+  }
+
+  // Phase C — per-tenant commits, concurrent again.
+  pool_.ParallelFor(live.size(), [&](size_t k) {
+    if (stepped[k]) INCSHRINK_CHECK(engines_[live[k]]->FinishStep().ok());
   });
   return live.size();
 }
@@ -106,6 +140,8 @@ void DeploymentFleet::RunAll() {
 DeploymentFleet::FleetStats DeploymentFleet::AggregateStats() const {
   FleetStats stats;
   stats.rounds = rounds_;
+  stats.fused_sort_jobs = fused_sort_jobs_;
+  stats.fused_sort_submissions = fused_sort_submissions_;
   for (size_t i = 0; i < engines_.size(); ++i) {
     const RunSummary s = engines_[i]->Summary();
     stats.engine_steps += s.steps;

@@ -57,6 +57,18 @@ class DeploymentFleet {
     /// round — the pre-transport fleet cadence, bit for bit. Leads are
     /// additionally bounded by the channel capacity (public backpressure).
     uint32_t owner_lead = 0;
+    /// Cross-tenant sort coalescing: when set, every round splits tenant
+    /// steps into BeginStep (plan) / FinishStep (commit) phases and fuses
+    /// all tenants' fired cache sorts into one ObliviousSortBatch
+    /// submission between them, so same-shaped sorting networks advance in
+    /// shared layer rounds on the fleet pool instead of serializing tenant
+    /// by tenant. Scheduling only: every tenant's protocol stream is
+    /// untouched (jobs run on pairwise-distinct protocols), so summaries
+    /// and transcripts are bit-identical to the unfused fleet at any
+    /// thread count (tests/batched_oblivious_test.cc).
+    bool coalesce_sorts = false;
+    /// `oblivious_batch_min_layer` of the fused cross-tenant submissions.
+    uint32_t batch_min_layer = 128;
   };
 
   DeploymentFleet(std::vector<TenantSpec> tenants, const Options& options);
@@ -89,6 +101,8 @@ class DeploymentFleet {
     uint64_t upload_frames = 0;       ///< frames pushed across all channels
     uint64_t upload_backpressure = 0; ///< refused pushes (channels full)
     uint64_t max_queue_depth = 0;     ///< deepest any channel ever got
+    uint64_t fused_sort_jobs = 0;        ///< tenant sorts run coalesced
+    uint64_t fused_sort_submissions = 0; ///< cross-tenant batch submissions
     double simulated_mpc_seconds = 0;
     double simulated_query_seconds = 0;
   };
@@ -103,7 +117,11 @@ class DeploymentFleet {
   std::vector<std::unique_ptr<OwnerClient>> owners2_;
   std::vector<uint64_t> cursor_;  ///< next stream index per tenant's owners
   uint32_t owner_lead_;
+  bool coalesce_sorts_;
+  uint32_t batch_min_layer_;
   uint64_t rounds_ = 0;
+  uint64_t fused_sort_jobs_ = 0;
+  uint64_t fused_sort_submissions_ = 0;
   ThreadPool pool_;
 };
 

@@ -6,6 +6,8 @@
 #include "src/common/logging.h"
 #include "src/dp/laplace.h"
 #include "src/oblivious/cache_ops.h"
+#include "src/oblivious/formats.h"
+#include "src/oblivious/sort.h"
 
 namespace incshrink {
 
@@ -33,21 +35,29 @@ ShrinkTimer::ShrinkTimer(Protocol2PC* proto, const IncShrinkConfig& config)
     : proto_(proto), config_(config),
       scale_(static_cast<double>(config.budget_b) / config.eps) {}
 
-ShrinkResult ShrinkTimer::Step(uint64_t t, SecureCache* cache,
-                               MaterializedView* view) {
-  ShrinkResult result;
-  if (config_.timer_T == 0 || t % config_.timer_T != 0) return result;
-  const CircuitStats before = proto_->Snapshot();
+ShrinkPlan ShrinkTimer::Plan(uint64_t t, SecureCache* cache) {
+  ShrinkPlan plan;
+  if (config_.timer_T == 0 || t % config_.timer_T != 0) return plan;
+  plan.before = proto_->Snapshot();
 
   // Alg. 2 lines 3-6: recover c internally, distort with joint noise.
   const uint32_t c = cache->RecoverCounterInside(proto_);
   const double noise = proto_->JointLaplace(scale_);
-  const uint32_t sz =
+  plan.released_size =
       ClampRoundNonNegative(static_cast<double>(c) + noise);
+  plan.fired = true;
+  return plan;
+}
 
-  // Alg. 2 lines 7-8: oblivious sort + prefix fetch, view append.
-  result.released_size = sz;
-  SharedRows fetched = ObliviousCacheRead(proto_, cache->rows(), sz);
+ShrinkResult ShrinkTimer::Commit(const ShrinkPlan& plan, SecureCache* cache,
+                                 MaterializedView* view) {
+  INCSHRINK_CHECK(plan.fired);
+  ShrinkResult result;
+
+  // Alg. 2 lines 7-8: prefix fetch from the sorted cache, view append.
+  result.released_size = plan.released_size;
+  SharedRows fetched =
+      TakeSortedPrefix(proto_, cache->rows(), plan.released_size);
   result.sync_rows = fetched.size();
   view->Append(fetched);
 
@@ -55,8 +65,16 @@ ShrinkResult ShrinkTimer::Step(uint64_t t, SecureCache* cache,
   cache->ResetCounter(proto_);
 
   result.fired = true;
-  result.simulated_seconds = proto_->SimulatedSecondsSince(before);
+  result.simulated_seconds = proto_->SimulatedSecondsSince(plan.before);
   return result;
+}
+
+ShrinkResult ShrinkTimer::Step(uint64_t t, SecureCache* cache,
+                               MaterializedView* view) {
+  ShrinkPlan plan = Plan(t, cache);
+  if (!plan.fired) return plan.early;
+  ObliviousSort(proto_, cache->rows(), kViewSortKeyCol, /*ascending=*/false);
+  return Commit(plan, cache, view);
 }
 
 // ---------------------------------------------------------------------------
@@ -83,11 +101,10 @@ double ShrinkAnt::noisy_threshold_inside() const {
       proto_->RecoverInside(shared_theta_));
 }
 
-ShrinkResult ShrinkAnt::Step(uint64_t t, SecureCache* cache,
-                             MaterializedView* view) {
+ShrinkPlan ShrinkAnt::Plan(uint64_t t, SecureCache* cache) {
   (void)t;
-  ShrinkResult result;
-  const CircuitStats before = proto_->Snapshot();
+  ShrinkPlan plan;
+  plan.before = proto_->Snapshot();
 
   // Alg. 3 lines 5-7: recover c and theta~ internally, distort c, compare.
   const uint32_t c = cache->RecoverCounterInside(proto_);
@@ -97,8 +114,9 @@ ShrinkResult ShrinkAnt::Step(uint64_t t, SecureCache* cache,
       proto_->JointLaplace(4.0 * config_.budget_b / eps1_);
   proto_->AccountAndGates(kWordBits);  // in-circuit threshold comparison
   if (c_noisy < theta) {
-    result.simulated_seconds = proto_->SimulatedSecondsSince(before);
-    return result;
+    plan.early.simulated_seconds =
+        proto_->SimulatedSecondsSince(plan.before);
+    return plan;
   }
 
   // Alg. 3 lines 8-10: sz = c + Lap(b/eps2). A Laplace release at scale
@@ -107,10 +125,19 @@ ShrinkResult ShrinkAnt::Step(uint64_t t, SecureCache* cache,
   // conservative 2b/eps2; that variant only strengthens the guarantee.)
   const double noise =
       proto_->JointLaplace(static_cast<double>(config_.budget_b) / eps2_);
-  const uint32_t sz =
+  plan.released_size =
       ClampRoundNonNegative(static_cast<double>(c) + noise);
-  result.released_size = sz;
-  SharedRows fetched = ObliviousCacheRead(proto_, cache->rows(), sz);
+  plan.fired = true;
+  return plan;
+}
+
+ShrinkResult ShrinkAnt::Commit(const ShrinkPlan& plan, SecureCache* cache,
+                               MaterializedView* view) {
+  INCSHRINK_CHECK(plan.fired);
+  ShrinkResult result;
+  result.released_size = plan.released_size;
+  SharedRows fetched =
+      TakeSortedPrefix(proto_, cache->rows(), plan.released_size);
   result.sync_rows = fetched.size();
   view->Append(fetched);
 
@@ -119,25 +146,35 @@ ShrinkResult ShrinkAnt::Step(uint64_t t, SecureCache* cache,
   cache->ResetCounter(proto_);
 
   result.fired = true;
-  result.simulated_seconds = proto_->SimulatedSecondsSince(before);
+  result.simulated_seconds = proto_->SimulatedSecondsSince(plan.before);
   return result;
+}
+
+ShrinkResult ShrinkAnt::Step(uint64_t t, SecureCache* cache,
+                             MaterializedView* view) {
+  ShrinkPlan plan = Plan(t, cache);
+  if (!plan.fired) return plan.early;
+  ObliviousSort(proto_, cache->rows(), kViewSortKeyCol, /*ascending=*/false);
+  return Commit(plan, cache, view);
 }
 
 // ---------------------------------------------------------------------------
 // Cache flush
 // ---------------------------------------------------------------------------
 
-ShrinkResult MaybeFlushCache(Protocol2PC* proto,
-                             const IncShrinkConfig& config, uint64_t t,
-                             SecureCache* cache, MaterializedView* view) {
+bool FlushDue(const IncShrinkConfig& config, uint64_t t) {
+  return config.flush_interval != 0 && t % config.flush_interval == 0;
+}
+
+ShrinkResult CommitFlush(Protocol2PC* proto, const IncShrinkConfig& config,
+                         SecureCache* cache, MaterializedView* view,
+                         const CircuitStats& before) {
   ShrinkResult result;
-  if (config.flush_interval == 0 || t % config.flush_interval != 0)
-    return result;
-  const CircuitStats before = proto->Snapshot();
-  SharedRows fetched = CacheFlush(proto, cache->rows(), config.flush_size);
+  SharedRows fetched =
+      TakeFlushPrefix(proto, cache->rows(), config.flush_size);
   result.sync_rows = fetched.size();
   view->Append(fetched);
-  // CacheFlush recycles the entire remaining array, so no cached real entry
+  // The flush recycles the entire remaining array, so no cached real entry
   // survives and the secret-shared cardinality counter must drop to zero
   // with it. Leaving it standing made every post-flush DP release re-count
   // rows that were already synchronized (or recycled) and fetch too many
@@ -146,6 +183,15 @@ ShrinkResult MaybeFlushCache(Protocol2PC* proto,
   result.fired = true;
   result.simulated_seconds = proto->SimulatedSecondsSince(before);
   return result;
+}
+
+ShrinkResult MaybeFlushCache(Protocol2PC* proto,
+                             const IncShrinkConfig& config, uint64_t t,
+                             SecureCache* cache, MaterializedView* view) {
+  if (!FlushDue(config, t)) return ShrinkResult{};
+  const CircuitStats before = proto->Snapshot();
+  ObliviousSort(proto, cache->rows(), kViewSortKeyCol, /*ascending=*/false);
+  return CommitFlush(proto, config, cache, view, before);
 }
 
 }  // namespace incshrink

@@ -17,6 +17,21 @@ struct ShrinkResult {
   double simulated_seconds = 0;  ///< simulated MPC time consumed
 };
 
+/// \brief Phase-split Shrink stepping, the seam batched sort fusion plugs
+/// into: `Plan()` runs everything up to (not including) the oblivious cache
+/// sort — the timer check / noisy-threshold comparison and the DP release
+/// draws — and decides whether the shard fires; the caller then sorts the
+/// shard's cache (possibly fused with other shards'/tenants' sorts in one
+/// batch submission); `Commit()` performs the prefix fetch, view append and
+/// counter/threshold maintenance. Plan + sort + Commit on one shard is
+/// bit-identical to `Step()` (which remains, and is implemented that way).
+struct ShrinkPlan {
+  bool fired = false;          ///< whether the shard's cache must be sorted
+  uint32_t released_size = 0;  ///< DP-released batch size (fired only)
+  ShrinkResult early;          ///< the finished result when !fired
+  CircuitStats before;         ///< stats snapshot at plan start
+};
+
 /// \brief sDPTimer (paper Algorithm 2): every T steps, synchronize a
 /// DP-sized batch sz = c + Lap(b/eps) from the secure cache to the view.
 ///
@@ -29,6 +44,13 @@ class ShrinkTimer {
 
   /// Runs the timer check for step `t` (1-based).
   ShrinkResult Step(uint64_t t, SecureCache* cache, MaterializedView* view);
+
+  /// Pre-sort phase of Step (see ShrinkPlan).
+  ShrinkPlan Plan(uint64_t t, SecureCache* cache);
+  /// Post-sort phase: `cache` must have been sorted by the cache key
+  /// (descending) after Plan() returned fired == true.
+  ShrinkResult Commit(const ShrinkPlan& plan, SecureCache* cache,
+                      MaterializedView* view);
 
  private:
   Protocol2PC* proto_;
@@ -54,6 +76,13 @@ class ShrinkAnt {
 
   ShrinkResult Step(uint64_t t, SecureCache* cache, MaterializedView* view);
 
+  /// Pre-sort phase of Step (see ShrinkPlan): the noisy comparison and, on
+  /// firing, the release draw.
+  ShrinkPlan Plan(uint64_t t, SecureCache* cache);
+  /// Post-sort phase: prefix fetch, threshold refresh, counter reset.
+  ShrinkResult Commit(const ShrinkPlan& plan, SecureCache* cache,
+                      MaterializedView* view);
+
   /// Decoded value of the current noisy threshold (test access; the shared
   /// encoding is protocol state).
   double noisy_threshold_inside() const;
@@ -77,6 +106,17 @@ class ShrinkAnt {
 ShrinkResult MaybeFlushCache(Protocol2PC* proto,
                              const IncShrinkConfig& config, uint64_t t,
                              SecureCache* cache, MaterializedView* view);
+
+/// Whether step `t` is a flush step — the (public) pre-sort half of
+/// MaybeFlushCache, split out for fused flush-sort submissions.
+bool FlushDue(const IncShrinkConfig& config, uint64_t t);
+
+/// Post-sort half of MaybeFlushCache: fetches the fixed prefix from the
+/// (already sorted) cache, recycles the rest and resets the counter.
+/// `before` is the stats snapshot taken just before the flush sort began.
+ShrinkResult CommitFlush(Protocol2PC* proto, const IncShrinkConfig& config,
+                         SecureCache* cache, MaterializedView* view,
+                         const CircuitStats& before);
 
 /// Fixed-point encoding used to secret-share the (real-valued) noisy
 /// threshold inside 32 bits: enc(x) = (x + 2^20) * 2^10, clamped.

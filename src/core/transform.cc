@@ -202,12 +202,12 @@ Result<TransformProtocol::StepResult> TransformProtocol::StepJoin(
 
   if (config_.op == TransformOperator::kSortMergeJoin) {
     JoinResult a = TruncatedSortMergeJoin(proto_, new1, t2_in, spec,
-                                          seq, &usage);
+                                          seq, &usage, sort_exec_);
     real_entries += a.real_count;
     padded.AppendAll(a.rows);
     if (old1.size() > 0 && new2.size() > 0) {
       JoinResult b = TruncatedSortMergeJoin(proto_, old1, new2, spec,
-                                            seq, &usage);
+                                            seq, &usage, sort_exec_);
       real_entries += b.real_count;
       padded.AppendAll(b.rows);
     }
@@ -292,8 +292,12 @@ Result<TransformProtocol::StepResult> TransformProtocol::StepJoin(
     // EP baseline: cache the raw exhaustively padded operator outputs.
     compacted = std::move(padded);
   } else if (padded.size() > bound) {
-    ObliviousSort(proto_, &padded, kViewSortKeyCol, /*ascending=*/false);
-    compacted = padded.SplitPrefix(bound);
+    ObliviousSort(proto_, &padded, kViewSortKeyCol, /*ascending=*/false,
+                  sort_exec_);
+    // In place: the suffix is discarded anyway, so truncating and moving
+    // avoids SplitPrefix's copy of `bound` rows every hot-loop step.
+    padded.Truncate(bound);
+    compacted = std::move(padded);
   } else {
     compacted = std::move(padded);
     // Pad up to the public bound so the cache-append size is a deterministic

@@ -12,6 +12,11 @@ SharedRows ObliviousCacheRead(Protocol2PC* proto, SharedRows* cache,
   // Fig. 3: oblivious sort moves all real tuples to the head (FIFO order),
   // dummies to the tail; then cut off the first `read_size` elements.
   ObliviousSort(proto, cache, kViewSortKeyCol, /*ascending=*/false);
+  return TakeSortedPrefix(proto, cache, read_size);
+}
+
+SharedRows TakeSortedPrefix(Protocol2PC* proto, SharedRows* cache,
+                            size_t read_size) {
   read_size = std::min(read_size, cache->size());
   // The fetched shares are re-addressed to the view object: charge transfer.
   proto->AccountBytes(read_size * cache->width() * sizeof(Word) * 2);
@@ -22,6 +27,11 @@ SharedRows ObliviousCacheRead(Protocol2PC* proto, SharedRows* cache,
 SharedRows CacheFlush(Protocol2PC* proto, SharedRows* cache,
                       size_t flush_size) {
   ObliviousSort(proto, cache, kViewSortKeyCol, /*ascending=*/false);
+  return TakeFlushPrefix(proto, cache, flush_size);
+}
+
+SharedRows TakeFlushPrefix(Protocol2PC* proto, SharedRows* cache,
+                           size_t flush_size) {
   flush_size = std::min(flush_size, cache->size());
   proto->AccountBytes(flush_size * cache->width() * sizeof(Word) * 2);
   proto->AccountRounds(1);

@@ -21,11 +21,24 @@ namespace incshrink {
 SharedRows ObliviousCacheRead(Protocol2PC* proto, SharedRows* cache,
                               size_t read_size);
 
+/// Post-sort half of ObliviousCacheRead, split out so the sort itself can
+/// be fused with other shards'/tenants' sorts in one batch submission:
+/// charges the share-transfer cost and cuts the public-size prefix. The
+/// caller must have sorted `cache` by the cache key (descending) first.
+/// ObliviousCacheRead == ObliviousSort + TakeSortedPrefix, bit for bit.
+SharedRows TakeSortedPrefix(Protocol2PC* proto, SharedRows* cache,
+                            size_t read_size);
+
 /// Cache flush (Section 5.2.1): sorts the cache, fetches the first
 /// `flush_size` rows, and recycles (drops) the remainder — including, with
 /// small probability, deferred real tuples. Returns the fetched rows.
 SharedRows CacheFlush(Protocol2PC* proto, SharedRows* cache,
                       size_t flush_size);
+
+/// Post-sort half of CacheFlush (fetch the fixed prefix, recycle the rest),
+/// for flush sorts executed through a fused batch submission.
+SharedRows TakeFlushPrefix(Protocol2PC* proto, SharedRows* cache,
+                           size_t flush_size);
 
 /// Obliviously counts real entries (isView == 1) in a view-format table.
 /// The result is known only inside the protocol.

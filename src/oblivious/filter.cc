@@ -64,15 +64,14 @@ void ObliviousSelect(Protocol2PC* proto, SharedRows* rows, size_t flag_col,
 WordShares ObliviousCountWhere(Protocol2PC* proto, const SharedRows& rows,
                                size_t flag_col,
                                const ObliviousPredicate& pred) {
-  const size_t n = rows.size();
-  // Per row: predicate circuit + AND with flag + ripple-carry accumulate.
-  proto->AccountAndGates(n * (pred.and_gates_per_row + 1 + kWordBits));
-  Word count = 0;
-  for (size_t r = 0; r < n; ++r) {
-    const std::vector<Word> row = rows.RecoverRow(r);
-    if ((row[flag_col] & 1) && pred.eval(row)) ++count;
-  }
-  return ShareWord(count, proto->internal_rng());
+  // Single-task submission of the batched COUNT primitive: one aggregate
+  // accounting event, one fresh-share draw — bit-identical to the old
+  // per-call path (same gate charge, same ShareWord mask sequence).
+  const CountWhereTask task{&rows, flag_col, pred.and_gates_per_row,
+                            &pred.eval};
+  WordShares out;
+  proto->CountWhereBatch(&task, 1, &out);
+  return out;
 }
 
 }  // namespace incshrink

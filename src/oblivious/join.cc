@@ -57,7 +57,8 @@ void EmitViewRow(Protocol2PC* proto, SharedRows* out, bool is_view, Word key,
 
 JoinResult TruncatedSortMergeJoin(Protocol2PC* proto, const SharedRows& t1,
                                   const SharedRows& t2, const JoinSpec& spec,
-                                  uint64_t* seq, ContributionUsage* usage) {
+                                  uint64_t* seq, ContributionUsage* usage,
+                                  const BatchExec& exec) {
   ContributionUsage local_usage;
   if (usage == nullptr) usage = &local_usage;
   INCSHRINK_CHECK_GE(t1.width(), kSrcWidth);
@@ -67,6 +68,7 @@ JoinResult TruncatedSortMergeJoin(Protocol2PC* proto, const SharedRows& t1,
   // ---- Union + tag (Fig. 2 "Union"). Building the merged table is pure
   // wiring in a circuit; we charge the share-transfer bytes.
   SharedRows merged(kMergedWidth);
+  merged.Reserve(t1.size() + t2.size());
   auto append_source = [&](const SharedRows& src, Word table_id) {
     for (size_t r = 0; r < src.size(); ++r) {
       const std::vector<Word> row = src.RecoverRow(r);
@@ -89,7 +91,7 @@ JoinResult TruncatedSortMergeJoin(Protocol2PC* proto, const SharedRows& t1,
   // breaks remaining ties so the scan order — and with it the greedy
   // truncation — is a deterministic function of the data.
   ObliviousSortLex(proto, &merged, kMergedSortCol, kMergedRidCol,
-                   /*ascending=*/true);
+                   /*ascending=*/true, exec);
 
   // ---- Linear scan (Fig. 2 "Linear scan"): after accessing each merged
   // tuple, output exactly `omega` slots. Charge the scan circuit: per merged
@@ -100,6 +102,8 @@ JoinResult TruncatedSortMergeJoin(Protocol2PC* proto, const SharedRows& t1,
   proto->AccountAndGates(n * spec.omega * kViewWidth * kWordBits);
 
   JoinResult result{SharedRows(kViewWidth), 0};
+  // The scan emits exactly omega slots per merged tuple.
+  result.rows.Reserve(static_cast<size_t>(spec.omega) * n);
 
   struct GroupEntry {
     Word date;
@@ -224,10 +228,12 @@ JoinResult TruncatedNestedLoopJoin(Protocol2PC* proto, SharedRows* t1,
 }
 
 uint32_t ObliviousJoinCountFull(Protocol2PC* proto, const SharedRows& t1,
-                                const SharedRows& t2, const JoinSpec& spec) {
+                                const SharedRows& t2, const JoinSpec& spec,
+                                const BatchExec& exec) {
   Rng* rng = proto->internal_rng();
   // Union + tag, as in the truncated join.
   SharedRows merged(kMergedWidth);
+  merged.Reserve(t1.size() + t2.size());
   auto append_source = [&](const SharedRows& src, Word table_id) {
     for (size_t r = 0; r < src.size(); ++r) {
       const std::vector<Word> row = src.RecoverRow(r);
@@ -246,7 +252,7 @@ uint32_t ObliviousJoinCountFull(Protocol2PC* proto, const SharedRows& t1,
   proto->AccountBytes(merged.TotalBytes());
 
   ObliviousSortLex(proto, &merged, kMergedSortCol, kMergedRidCol,
-                   /*ascending=*/true);
+                   /*ascending=*/true, exec);
 
   // Oblivious pair counting over the sorted union: an O(n log n) prefix
   // aggregation circuit (per level, one adder + mux per element).

@@ -30,6 +30,14 @@ class SharedRows {
   /// Total bytes held across both servers (shares are 4 bytes/word/server).
   size_t TotalBytes() const { return rows_ * width_ * sizeof(Word) * 2; }
 
+  /// Pre-sizes the share arrays for `rows` total rows so append-heavy paths
+  /// (join union building, padded operator outputs) never reallocate
+  /// mid-loop. Capacity only — size and contents are untouched.
+  void Reserve(size_t rows) {
+    shares0_.reserve(rows * width_);
+    shares1_.reserve(rows * width_);
+  }
+
   /// Shares the plaintext `row` (length == width) and appends it.
   void AppendSecretRow(const std::vector<Word>& row, Rng* rng);
 

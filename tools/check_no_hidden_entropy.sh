@@ -116,4 +116,26 @@ if [ -f "$SHARDED_CACHE" ]; then
     exit 1
   fi
 fi
+
+# Batch-kernel hygiene (batched-oblivious-execution satellite): the batch
+# scheduler (src/oblivious/sort.cc) must take randomness exclusively through
+# the protocol's stream — DrawReshareMasks for pre-drawn pooled rounds, or
+# the *Site kernels (which draw inline from the same stream) for serial
+# rounds. A raw Rng construction or direct Next32/Next64 draw in the
+# scheduler would desynchronize the batched path from the scalar resharing
+# sequence and silently break the bit-for-bit equivalence contract
+# (tests/batched_oblivious_test.cc is the runtime half of this check).
+BATCH_SCHEDULER=src/oblivious/sort.cc
+if [ -f "$BATCH_SCHEDULER" ]; then
+  hits=$(grep -nE '\bRng\s*\(|Next32|Next64|internal_rng|ShareWord|Laplace' \
+         "$BATCH_SCHEDULER")
+  if [ -n "$hits" ]; then
+    echo "FORBIDDEN direct randomness in the batch scheduler:"
+    echo "$hits"
+    echo
+    echo "Batched kernels must draw only via Protocol2PC::DrawReshareMasks"
+    echo "or the inline *Site kernels (src/mpc/protocol.h)."
+    exit 1
+  fi
+fi
 echo "OK: no hidden entropy sources found."
