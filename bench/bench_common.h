@@ -19,6 +19,12 @@ namespace incshrink::bench {
 struct Options {
   uint64_t steps_tpcds = 240;
   uint64_t steps_cpdb = 144;
+  /// Zipf skew exponent for bench_fleet_scaling's skewed-traffic mode;
+  /// 0 (the default) skips that section, so the standard smoke invocations
+  /// are unaffected.
+  double zipf_s = 0;
+  /// Tenant count of the skewed-traffic fleet.
+  uint64_t tenants = 8;
 };
 
 inline Options ParseOptions(int argc, char** argv) {
@@ -28,6 +34,10 @@ inline Options ParseOptions(int argc, char** argv) {
       opt.steps_tpcds = std::strtoull(argv[i + 1], nullptr, 10);
     } else if (std::strcmp(argv[i], "--steps-cpdb") == 0) {
       opt.steps_cpdb = std::strtoull(argv[i + 1], nullptr, 10);
+    } else if (std::strcmp(argv[i], "--zipf-s") == 0) {
+      opt.zipf_s = std::strtod(argv[i + 1], nullptr);
+    } else if (std::strcmp(argv[i], "--tenants") == 0) {
+      opt.tenants = std::strtoull(argv[i + 1], nullptr, 10);
     }
   }
   return opt;

@@ -72,6 +72,88 @@ std::vector<DeploymentFleet::TenantSpec> MakeTenants(
   return tenants;
 }
 
+// Worst p99 service latency (rounds between engine services) across the
+// fleet — the tail a serving SLA would bound.
+uint64_t MaxGapP99(const DeploymentFleet::FleetStats& stats) {
+  uint64_t worst = 0;
+  for (const auto& ts : stats.tenant_service) {
+    worst = std::max(worst, ts.gap_p99);
+  }
+  return worst;
+}
+
+// Skewed-traffic mode (--zipf-s S): a Zipf(S) fleet — hot head, near-idle
+// tail — served by the lockstep sweep vs the deterministic priority
+// scheduler with a rationed budget. Reports throughput, the fleet-worst p99
+// service latency and the weighted Jain fairness index, cross-checking the
+// per-mode summary fingerprint across thread counts (the scheduler must be
+// exactly thread-count invariant too).
+bool RunSkewedTrafficBench(const Options& opt) {
+  PrintHeader("Skewed traffic: lockstep sweep vs priority scheduler");
+  ZipfFleetParams zp;
+  zp.num_tenants = opt.tenants;
+  zp.s = opt.zipf_s;
+  zp.steps = opt.steps_tpcds;
+  zp.seed = 1729;
+  const std::vector<GeneratedWorkload> streams =
+      GenerateZipfFleetWorkloads(zp);
+  std::vector<DeploymentFleet::TenantSpec> specs(zp.num_tenants);
+  for (size_t i = 0; i < specs.size(); ++i) {
+    specs[i].name = "zipf#" + std::to_string(i);
+    specs[i].config = DefaultTpcDsConfig();
+    specs[i].config.strategy =
+        i % 2 == 0 ? Strategy::kDpTimer : Strategy::kDpAnt;
+    specs[i].config.max_batches_per_step = 2;
+    specs[i].workload = &streams[i];
+  }
+
+  std::printf("zipf s = %.2f, %zu tenants, %llu steps/tenant (head tenant "
+              "carries %.1fx the mean volume)\n\n",
+              zp.s, specs.size(),
+              static_cast<unsigned long long>(zp.steps),
+              ZipfWeights(zp.num_tenants, zp.s)[0]);
+  std::printf("%10s %8s | %12s %14s %10s %9s | %s\n", "scheduler", "threads",
+              "steps", "steps/sec", "p99 gap", "fairness", "wall");
+  bool deterministic = true;
+  for (const bool scheduled : {false, true}) {
+    DeploymentFleet::Options fo;
+    fo.root_seed = 1729;
+    fo.owner_lead = 8;
+    if (scheduled) {
+      fo.scheduler.enabled = true;
+      fo.scheduler.services_per_round =
+          std::max<uint32_t>(1, static_cast<uint32_t>(specs.size() / 4));
+      fo.scheduler.aging_weight = 4;
+    }
+    uint64_t base_fingerprint = 0;
+    for (const int threads : {1, 2, 4}) {
+      fo.num_threads = threads;
+      DeploymentFleet fleet(specs, fo);
+      const auto t0 = std::chrono::steady_clock::now();
+      fleet.RunAll();
+      const auto t1 = std::chrono::steady_clock::now();
+      const double seconds =
+          std::chrono::duration<double>(t1 - t0).count();
+      const DeploymentFleet::FleetStats stats = fleet.AggregateStats();
+      const uint64_t fingerprint = FleetFingerprint(fleet);
+      if (threads == 1) {
+        base_fingerprint = fingerprint;
+      } else if (fingerprint != base_fingerprint) {
+        deterministic = false;
+      }
+      std::printf("%10s %8d | %12llu %14.1f %10llu %9.3f | %s\n",
+                  scheduled ? "priority" : "lockstep", threads,
+                  static_cast<unsigned long long>(stats.engine_steps),
+                  static_cast<double>(stats.engine_steps) /
+                      std::max(1e-9, seconds),
+                  static_cast<unsigned long long>(MaxGapP99(stats)),
+                  stats.jain_fairness, FormatSeconds(seconds).c_str());
+    }
+  }
+  std::printf("\n");
+  return deterministic;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -110,6 +192,10 @@ int main(int argc, char** argv) {
                   base_seconds / std::max(1e-9, seconds),
                   FormatSeconds(seconds).c_str());
     }
+  }
+  if (opt.zipf_s > 0) {
+    std::printf("\n");
+    deterministic = RunSkewedTrafficBench(opt) && deterministic;
   }
   std::printf("\nDeterminism cross-check (per-tenant summary fingerprints "
               "identical across thread counts): %s\n",

@@ -40,6 +40,12 @@ Status IncShrinkConfig::Validate() const {
                                    "a configuration error");
   if (cache_shard_threads < 0)
     return Status::InvalidArgument("cache_shard_threads must be >= 0");
+  if (sla_weight == 0)
+    return Status::InvalidArgument("sla_weight must be >= 1");
+  if (sla_weight > (1u << 20))
+    return Status::InvalidArgument(
+        "sla_weight above 2^20 would overflow the scheduler's exact "
+        "64-bit priority arithmetic");
   if (oblivious_batch_min_layer == 0)
     return Status::InvalidArgument(
         "oblivious_batch_min_layer must be >= 1 (1 = always pool-split)");

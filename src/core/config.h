@@ -86,6 +86,15 @@ struct IncShrinkConfig {
   /// capped at the shard count. Never affects results, only wall time.
   int cache_shard_threads = 0;
 
+  // --- fleet serving ---
+  /// Relative service-level weight of this deployment when it runs inside a
+  /// priority-scheduled DeploymentFleet: a tenant with weight 2w accrues
+  /// priority twice as fast as one with weight w at equal backlog/deadline
+  /// pressure. Public configuration by definition (the scheduler must never
+  /// read secret state), ignored by the lockstep fleet and by standalone
+  /// engines. Bounded so priority arithmetic stays exact in 64 bits.
+  uint32_t sla_weight = 1;
+
   // --- batched oblivious execution ---
   /// Minimum combined compare-exchange count of a sorting-network layer (or
   /// fused cross-shard layer round) before the batch executor splits it

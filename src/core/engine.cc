@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cmath>
+#include <limits>
 
 #include "src/common/logging.h"
 #include "src/oblivious/cache_ops.h"
@@ -366,6 +367,22 @@ Status Engine::FinishStep() {
   metrics_.push_back(m);
   pending_.reset();
   return Status::OK();
+}
+
+uint64_t Engine::StepsToNextPublicRelease() const {
+  // The next step is t_ + 1; a cadence of period P fires at steps divisible
+  // by P, so the distance is P - (t_ mod P), in [1, P].
+  uint64_t dist = std::numeric_limits<uint64_t>::max();
+  const bool dp = config_.strategy == Strategy::kDpTimer ||
+                  config_.strategy == Strategy::kDpAnt;
+  if (config_.strategy == Strategy::kDpTimer && config_.timer_T > 0) {
+    dist = std::min<uint64_t>(dist, config_.timer_T - (t_ % config_.timer_T));
+  }
+  if (dp && config_.flush_interval > 0) {
+    dist = std::min<uint64_t>(
+        dist, config_.flush_interval - (t_ % config_.flush_interval));
+  }
+  return dist;
 }
 
 RunSummary Engine::Summary() const {

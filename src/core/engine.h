@@ -106,6 +106,16 @@ class Engine {
   /// Total owner frames drained across all steps so far.
   uint64_t frames_drained() const { return frames_drained_; }
 
+  /// Distance, in engine steps, to the next *publicly scheduled* DP release
+  /// of this deployment: the sooner of the next sDPTimer firing and the next
+  /// cache flush. This is a pure function of the public clock and config —
+  /// sDPANT's data-dependent firings deliberately do not contribute — so a
+  /// fleet scheduler may fold it into priorities without the service order
+  /// ever becoming a leakage channel (tests/oblivious_invariants_test.cc
+  /// pins this). Returns UINT64_MAX when no public release is scheduled
+  /// (EP/OTM/NM, or flushing disabled for sDPANT).
+  uint64_t StepsToNextPublicRelease() const;
+
   /// Aggregated results (Table 2 rows).
   RunSummary Summary() const;
 

@@ -1,6 +1,9 @@
 #pragma once
 
+#include <algorithm>
+#include <cstddef>
 #include <cstdint>
+#include <vector>
 
 #include "src/common/stats.h"
 
@@ -51,5 +54,36 @@ struct RunSummary {
     return l1_error.mean() / true_count_stat.mean();
   }
 };
+
+/// Nearest-rank percentile of an (unsorted) integer sample set: the smallest
+/// sample s such that at least pct% of the samples are <= s. Exact integer
+/// arithmetic, 0 for an empty set. Used for the fleet's per-tenant
+/// service-latency stats (rounds between engine services).
+inline uint64_t NearestRankPercentile(std::vector<uint64_t> samples,
+                                      uint32_t pct) {
+  if (samples.empty()) return 0;
+  std::sort(samples.begin(), samples.end());
+  // rank = ceil(pct/100 * n), 1-based; pct is clamped to [1, 100].
+  const uint64_t n = samples.size();
+  const uint64_t p = pct == 0 ? 1 : (pct > 100 ? 100 : pct);
+  uint64_t rank = (p * n + 99) / 100;
+  if (rank == 0) rank = 1;
+  return samples[rank - 1];
+}
+
+/// Jain fairness index of a non-negative allocation vector:
+/// (sum x)^2 / (n * sum x^2). 1.0 means perfectly even service, 1/n means
+/// one tenant received everything. Degenerate inputs (empty, all-zero)
+/// report 1.0 — an idle fleet is trivially fair.
+inline double JainFairnessIndex(const std::vector<double>& x) {
+  if (x.empty()) return 1.0;
+  double sum = 0.0, sum_sq = 0.0;
+  for (const double v : x) {
+    sum += v;
+    sum_sq += v * v;
+  }
+  if (sum_sq <= 0.0) return 1.0;
+  return (sum * sum) / (static_cast<double>(x.size()) * sum_sq);
+}
 
 }  // namespace incshrink

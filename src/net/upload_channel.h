@@ -51,6 +51,19 @@ class UploadChannel {
   bool empty() const { return queue_.empty(); }
   bool full() const { return queue_.size() >= capacity_; }
 
+  /// Public depth snapshot — the transport-side input to fleet scheduling
+  /// (priorities must be computable from transport counters alone, never
+  /// from frame contents). `high_water` is tracked at push time inside
+  /// TryPush, so intra-round peaks under an owner lead are captured even
+  /// when snapshots are only taken at round boundaries
+  /// (tests/upload_channel_test.cc pins this against regressing to
+  /// round-end sampling).
+  struct DepthSnapshot {
+    size_t depth = 0;       ///< frames currently queued
+    size_t high_water = 0;  ///< lifetime peak depth, push-time accurate
+  };
+  DepthSnapshot Snapshot() const { return {queue_.size(), max_depth_}; }
+
   /// Lifetime counters (public transport statistics).
   uint64_t frames_pushed() const { return frames_pushed_; }
   uint64_t frames_popped() const { return frames_popped_; }

@@ -132,6 +132,62 @@ GeneratedWorkload GenerateCpdb(const CpdbParams& params) {
   return w;
 }
 
+std::vector<double> ZipfWeights(size_t n, double s) {
+  INCSHRINK_CHECK_GE(n, 1u);
+  std::vector<double> w(n);
+  double sum = 0.0;
+  for (size_t r = 0; r < n; ++r) {
+    w[r] = std::pow(static_cast<double>(r + 1), -s);
+    sum += w[r];
+  }
+  // Normalize to mean 1 so the fleet-wide volume is skew-invariant.
+  const double scale = static_cast<double>(n) / sum;
+  for (double& v : w) v *= scale;
+  return w;
+}
+
+ZipfSampler::ZipfSampler(size_t n, double s) {
+  pmf_ = ZipfWeights(n, s);
+  const double inv_n = 1.0 / static_cast<double>(n);
+  for (double& v : pmf_) v *= inv_n;  // mean-1 weights -> probabilities
+  cdf_.resize(n);
+  double acc = 0.0;
+  for (size_t r = 0; r < n; ++r) {
+    acc += pmf_[r];
+    cdf_[r] = acc;
+  }
+  cdf_.back() = 1.0;  // absorb float rounding: the last bucket closes [0,1)
+}
+
+size_t ZipfSampler::Sample(Rng* rng) const {
+  const double u = rng->NextDouble();
+  const auto it = std::upper_bound(cdf_.begin(), cdf_.end(), u);
+  return std::min<size_t>(static_cast<size_t>(it - cdf_.begin()),
+                          cdf_.size() - 1);
+}
+
+std::vector<GeneratedWorkload> GenerateZipfFleetWorkloads(
+    const ZipfFleetParams& params) {
+  const std::vector<double> weights =
+      ZipfWeights(params.num_tenants, params.s);
+  std::vector<GeneratedWorkload> out;
+  out.reserve(params.num_tenants);
+  for (size_t i = 0; i < params.num_tenants; ++i) {
+    TpcDsParams tp;
+    tp.steps = params.steps;
+    tp.scale = weights[i] * params.mean_scale;
+    // Same splitmix64 scramble as DeriveTenantSeed (local copy — workload
+    // must not depend on core/): disjoint per-tenant arrival streams.
+    uint64_t z = params.seed +
+                 0x9E3779B97F4A7C15ull * (static_cast<uint64_t>(i) + 1);
+    z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ull;
+    z = (z ^ (z >> 27)) * 0x94D049BB133111EBull;
+    tp.seed = z ^ (z >> 31);
+    out.push_back(GenerateTpcDs(tp));
+  }
+  return out;
+}
+
 IncShrinkConfig DefaultTpcDsConfig() {
   IncShrinkConfig cfg;
   cfg.eps = 1.5;

@@ -4,6 +4,7 @@
 #include <string>
 #include <vector>
 
+#include "src/common/rng.h"
 #include "src/core/config.h"
 #include "src/relational/growing_table.h"
 
@@ -70,6 +71,47 @@ struct CpdbParams {
   uint64_t seed = 9;
 };
 GeneratedWorkload GenerateCpdb(const CpdbParams& params);
+
+// --- Zipf-skewed multi-tenant traffic (fleet serving scenario) ---
+
+/// Zipf(s) popularity weights over `n` ranks, normalized to mean 1 (so a
+/// fleet of n skewed tenants carries the same total traffic as n uniform
+/// ones): weight of rank r (0-based) is proportional to 1/(r+1)^s. s = 0 is
+/// uniform; s ~ 1 is the classic heavy web-traffic skew. Deterministic —
+/// no randomness involved.
+std::vector<double> ZipfWeights(size_t n, double s);
+
+/// \brief Draws ranks in [0, n) from the Zipf(s) distribution by CDF
+/// inversion over the caller's seeded Rng — the only entropy source, so
+/// identical seeds reproduce identical skew realizations bit for bit.
+class ZipfSampler {
+ public:
+  ZipfSampler(size_t n, double s);
+
+  size_t Sample(Rng* rng) const;
+
+  size_t n() const { return pmf_.size(); }
+  const std::vector<double>& pmf() const { return pmf_; }
+
+ private:
+  std::vector<double> pmf_;
+  std::vector<double> cdf_;
+};
+
+/// Parameters of a Zipf-skewed tenant fleet: `num_tenants` TPC-ds-shaped
+/// streams whose arrival volumes follow ZipfWeights(num_tenants, s) —
+/// tenant 0 is the hot head, the tail is near-idle. Each tenant draws from
+/// its own splitmix64-derived seed, so streams are independent and any
+/// single tenant can be regenerated standalone.
+struct ZipfFleetParams {
+  size_t num_tenants = 8;
+  double s = 1.0;      ///< skew exponent (0 = uniform fleet)
+  uint64_t steps = 120;
+  double mean_scale = 1.0;  ///< average per-tenant volume multiplier
+  uint64_t seed = 77;
+};
+std::vector<GeneratedWorkload> GenerateZipfFleetWorkloads(
+    const ZipfFleetParams& params);
 
 /// Default engine configurations matched to the generators above, mirroring
 /// the paper's Section-7 defaults (eps = 1.5; omega = 1, b = 10, T = 10 for

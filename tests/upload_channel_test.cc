@@ -103,6 +103,25 @@ TEST(UploadChannelTest, BackpressureRefusesWhenFull) {
   EXPECT_EQ(ch.max_depth(), 2u);
 }
 
+TEST(UploadChannelTest, SnapshotTracksHighWaterThroughDrains) {
+  // DepthSnapshot is the scheduler's public view of the channel: current
+  // depth plus the push-time high-water mark, which must survive pops.
+  UploadChannel ch(8);
+  for (uint8_t i = 0; i < 6; ++i) ASSERT_TRUE(ch.TryPush({i}));
+  UploadChannel::DepthSnapshot snap = ch.Snapshot();
+  EXPECT_EQ(snap.depth, 6u);
+  EXPECT_EQ(snap.high_water, 6u);
+  std::vector<uint8_t> frame;
+  for (int i = 0; i < 4; ++i) ASSERT_TRUE(ch.TryPop(&frame));
+  snap = ch.Snapshot();
+  EXPECT_EQ(snap.depth, 2u);
+  EXPECT_EQ(snap.high_water, 6u);  // draining never lowers the peak
+  ASSERT_TRUE(ch.TryPush({9}));
+  snap = ch.Snapshot();
+  EXPECT_EQ(snap.depth, 3u);
+  EXPECT_EQ(snap.high_water, 6u);
+}
+
 // ---------------------------------------------------------------------------
 // OwnerClient: backpressure leaves the owner's state untouched
 // ---------------------------------------------------------------------------
@@ -325,6 +344,30 @@ TEST(AsyncEquivalenceTest, BackpressureBoundsQueueDepthDeterministically) {
     ExpectSummaryIdentical(ref.TenantSummary(i), other.TenantSummary(i));
     EXPECT_EQ(ref.engine(i).transcript(), other.engine(i).transcript());
   }
+}
+
+TEST(AsyncEquivalenceTest, MaxQueueDepthCapturesIntraRoundPeak) {
+  // Regression guard for the fleet's high-water stat: with an owner lead of
+  // L and a drain bound of 1, every round tops the queue up to L + 1 frames
+  // before the engine drains one, so the depth at any round *boundary* is
+  // only L (and 0 after the final drain). The true peak — L + 1 — exists
+  // only mid-round; it must come from UploadChannel's push-time tracking,
+  // not from sampling depths at round end.
+  const GeneratedWorkload tpcds = SmallTpcDs();
+  DeploymentFleet::TenantSpec spec;
+  spec.name = "peak";
+  spec.config = DefaultTpcDsConfig();
+  spec.config.max_batches_per_step = 1;
+  spec.config.upload_channel_capacity = 64;
+  spec.workload = &tpcds;
+
+  const uint32_t kLead = 16;
+  DeploymentFleet fleet({spec}, {/*root_seed=*/7, /*num_threads=*/1, kLead});
+  fleet.RunAll();
+  ASSERT_TRUE(fleet.done());
+  EXPECT_EQ(fleet.QueueDepth(0), 0u);
+  const DeploymentFleet::FleetStats stats = fleet.AggregateStats();
+  EXPECT_EQ(stats.max_queue_depth, kLead + 1u);
 }
 
 }  // namespace

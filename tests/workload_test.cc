@@ -137,6 +137,74 @@ TEST(DefaultConfigTest, CpdbMatchesPaperParameters) {
   EXPECT_FALSE(cfg.join.cap_t2);
 }
 
+TEST(ZipfTest, WeightsNormalizedAndMonotone) {
+  for (const double s : {0.0, 0.8, 1.0, 1.6}) {
+    SCOPED_TRACE(s);
+    const std::vector<double> w = ZipfWeights(12, s);
+    ASSERT_EQ(w.size(), 12u);
+    double sum = 0.0;
+    for (size_t r = 0; r < w.size(); ++r) {
+      EXPECT_GT(w[r], 0.0);
+      if (r > 0) {
+        EXPECT_LE(w[r], w[r - 1]);  // rank-ordered skew
+      }
+      sum += w[r];
+    }
+    EXPECT_NEAR(sum, 12.0, 1e-9);  // mean-1 normalization
+  }
+  // s = 0 is the uniform fleet.
+  for (const double v : ZipfWeights(5, 0.0)) EXPECT_DOUBLE_EQ(v, 1.0);
+  // Classic s = 1 head/tail ratio: w[0]/w[k-1] = k.
+  const std::vector<double> harmonic = ZipfWeights(8, 1.0);
+  EXPECT_NEAR(harmonic[0] / harmonic[7], 8.0, 1e-9);
+}
+
+TEST(ZipfTest, SamplerHistogramPinnedForFixedSeed) {
+  // CDF inversion over the seeded Rng is the sampler's only entropy source,
+  // so this histogram is a bitwise-stable function of (n, s, seed, draws) —
+  // any change to the sampler or the Rng shows up here.
+  ZipfSampler sampler(4, 1.0);
+  ASSERT_EQ(sampler.n(), 4u);
+  // pmf is the mean-1 weight vector scaled by 1/n: proportional to 1/r.
+  EXPECT_NEAR(sampler.pmf()[0], 2.0 * sampler.pmf()[1], 1e-9);
+  EXPECT_NEAR(sampler.pmf()[0], 4.0 * sampler.pmf()[3], 1e-9);
+  Rng rng(99);
+  std::vector<uint64_t> hist(4, 0);
+  for (int i = 0; i < 1000; ++i) ++hist[sampler.Sample(&rng)];
+  const std::vector<uint64_t> expected = {480, 249, 168, 103};
+  EXPECT_EQ(hist, expected);
+  // Head-heavy ordering holds even at this sample size.
+  EXPECT_GT(hist[0], hist[1]);
+  EXPECT_GT(hist[1], hist[3]);
+}
+
+TEST(ZipfTest, FleetWorkloadsSkewedAndDeterministic) {
+  ZipfFleetParams p;
+  p.num_tenants = 4;
+  p.s = 1.2;
+  p.steps = 60;
+  p.seed = 5;
+  const std::vector<GeneratedWorkload> fleet = GenerateZipfFleetWorkloads(p);
+  ASSERT_EQ(fleet.size(), p.num_tenants);
+  // Per-tenant totals, pinned for this exact (seed, s, steps): regenerating
+  // must be bit-stable, and the hot head must dominate the tail.
+  const std::vector<uint64_t> expected_t1 = {785, 318, 215, 151};
+  for (size_t i = 0; i < fleet.size(); ++i) {
+    SCOPED_TRACE(i);
+    EXPECT_EQ(fleet[i].steps(), p.steps);
+    EXPECT_EQ(fleet[i].total_t1, expected_t1[i]);
+  }
+  EXPECT_GT(fleet[0].total_t1, 3 * fleet[3].total_t1);
+  const std::vector<GeneratedWorkload> again = GenerateZipfFleetWorkloads(p);
+  for (size_t i = 0; i < fleet.size(); ++i) {
+    EXPECT_EQ(again[i].total_t1, fleet[i].total_t1);
+    EXPECT_EQ(again[i].total_view_entries, fleet[i].total_view_entries);
+  }
+  // Tenant streams are independent: different seeds, different realizations.
+  EXPECT_NE(fleet[1].total_t1 * 1000 + fleet[1].total_t2,
+            fleet[2].total_t1 * 1000 + fleet[2].total_t2);
+}
+
 TEST(DefaultConfigTest, ScaleConfigBatches) {
   IncShrinkConfig cfg = DefaultTpcDsConfig();
   const uint32_t base1 = cfg.upload_rows_t1;
