@@ -19,25 +19,67 @@ namespace incshrink::bench {
 struct Options {
   uint64_t steps_tpcds = 240;
   uint64_t steps_cpdb = 144;
-  /// Zipf skew exponent for bench_fleet_scaling's skewed-traffic mode;
-  /// 0 (the default) skips that section, so the standard smoke invocations
-  /// are unaffected.
+  /// Zipf skew exponent for bench_fleet_scaling's skewed-traffic mode and
+  /// bench_owner_storm's arrival process; 0 skips the fleet-scaling section,
+  /// so the standard smoke invocations are unaffected (the storm bench
+  /// treats 0 as uniform arrivals).
   double zipf_s = 0;
   /// Tenant count of the skewed-traffic fleet.
   uint64_t tenants = 8;
+  /// bench_owner_storm: simulated owner count.
+  uint64_t owners = 10000;
+  /// bench_owner_storm: real TCP connections the owners multiplex over.
+  uint64_t conns = 64;
+  /// bench_owner_storm: total frame-emission events (0 = 3 per owner).
+  uint64_t storm_events = 0;
+  /// bench_owner_storm: frames drained per channel per round.
+  uint64_t drain_bound = 8;
 };
 
+/// Strict CLI parsing: a flag with no value or an unrecognized flag is a
+/// hard error (exit 2), never silently ignored — a typoed bench invocation
+/// must not silently run the wrong config.
 inline Options ParseOptions(int argc, char** argv) {
   Options opt;
-  for (int i = 1; i + 1 < argc; ++i) {
-    if (std::strcmp(argv[i], "--steps-tpcds") == 0) {
-      opt.steps_tpcds = std::strtoull(argv[i + 1], nullptr, 10);
-    } else if (std::strcmp(argv[i], "--steps-cpdb") == 0) {
-      opt.steps_cpdb = std::strtoull(argv[i + 1], nullptr, 10);
-    } else if (std::strcmp(argv[i], "--zipf-s") == 0) {
-      opt.zipf_s = std::strtod(argv[i + 1], nullptr);
-    } else if (std::strcmp(argv[i], "--tenants") == 0) {
-      opt.tenants = std::strtoull(argv[i + 1], nullptr, 10);
+  for (int i = 1; i < argc; ++i) {
+    const char* flag = argv[i];
+    uint64_t* u64_field = nullptr;
+    double* f64_field = nullptr;
+    if (std::strcmp(flag, "--steps-tpcds") == 0) {
+      u64_field = &opt.steps_tpcds;
+    } else if (std::strcmp(flag, "--steps-cpdb") == 0) {
+      u64_field = &opt.steps_cpdb;
+    } else if (std::strcmp(flag, "--zipf-s") == 0) {
+      f64_field = &opt.zipf_s;
+    } else if (std::strcmp(flag, "--tenants") == 0) {
+      u64_field = &opt.tenants;
+    } else if (std::strcmp(flag, "--owners") == 0) {
+      u64_field = &opt.owners;
+    } else if (std::strcmp(flag, "--conns") == 0) {
+      u64_field = &opt.conns;
+    } else if (std::strcmp(flag, "--storm-events") == 0) {
+      u64_field = &opt.storm_events;
+    } else if (std::strcmp(flag, "--drain-bound") == 0) {
+      u64_field = &opt.drain_bound;
+    } else {
+      std::fprintf(stderr, "error: unrecognized flag '%s'\n", flag);
+      std::exit(2);
+    }
+    if (i + 1 >= argc) {
+      std::fprintf(stderr, "error: flag '%s' is missing its value\n", flag);
+      std::exit(2);
+    }
+    const char* value = argv[++i];
+    char* end = nullptr;
+    if (u64_field != nullptr) {
+      *u64_field = std::strtoull(value, &end, 10);
+    } else {
+      *f64_field = std::strtod(value, &end);
+    }
+    if (end == value || *end != '\0') {
+      std::fprintf(stderr, "error: flag '%s' has a non-numeric value '%s'\n",
+                   flag, value);
+      std::exit(2);
     }
   }
   return opt;

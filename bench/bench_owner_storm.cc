@@ -1,0 +1,333 @@
+// Owner storm: throughput and service-tail of the real socket transport
+// under a fleet-scale upload storm — 10k+ simulated owners, Zipf-skewed
+// arrivals, multiplexed over a bounded set of real TCP connections into one
+// SocketListener.
+//
+// The storm is generated once, deterministically (every frame's bytes are a
+// pure function of --zipf-s and the fixed storm seed), then replayed through
+// TWO transports:
+//
+//   1. in-process — frames pushed straight into bounded UploadChannels and
+//      drained with the round-robin drain bound (the pre-socket baseline);
+//   2. socket     — the same frames travel through SocketSenders over real
+//      loopback TCP into a SocketListener (validation on: every payload runs
+//      through the hardened DecodeUploadFrame) feeding identical channels.
+//
+// Both runs fold every drained frame into per-channel FNV-1a fingerprints
+// (combined in fixed channel order), so the bench is also a large-scale
+// determinism check: the socket transport must reproduce the in-process
+// byte stream exactly, or the bench exits nonzero. Reported per transport:
+// drained frames/sec (wall clock, measurement-only), p50/p99 service gap in
+// drain rounds (emission round -> drain round, nearest-rank).
+//
+// Flags: --owners N --conns M --storm-events E (0 = 3 per owner)
+//        --drain-bound K --zipf-s S (0 = uniform arrivals)
+
+#include <chrono>
+#include <cstdint>
+#include <cstdio>
+#include <deque>
+#include <vector>
+
+#include "bench/bench_common.h"
+#include "src/core/metrics.h"
+#include "src/net/socket_transport.h"
+#include "src/net/upload_channel.h"
+#include "src/storage/serialization.h"
+#include "src/workload/generators.h"
+
+using namespace incshrink;
+using namespace incshrink::bench;
+
+namespace {
+
+constexpr uint64_t kStormSeed = 2022;  // fixed: the storm is part of the bench
+constexpr size_t kChannelCapacity = 64;
+constexpr uint64_t kRoundBudgetPerEvent = 64;  // stall cutoff, not a timer
+
+// One pre-generated storm event: an encoded IUF v1 frame bound for one
+// connection/channel.
+struct StormEvent {
+  size_t conn = 0;
+  std::vector<uint8_t> payload;
+};
+
+// Deterministic storm: event e picks its owner from Zipf(s) over the owner
+// ranks (s = 0 is uniform), and the frame carries that owner's own logical
+// step counter plus owner-derived share words — so any reordering or
+// corruption in flight lands in the fingerprints.
+std::vector<StormEvent> GenerateStorm(uint64_t owners, uint64_t conns,
+                                      uint64_t events, double zipf_s) {
+  Rng rng(kStormSeed);
+  ZipfSampler sampler(static_cast<size_t>(owners), zipf_s);
+  std::vector<uint64_t> owner_step(owners, 0);
+  std::vector<StormEvent> storm;
+  storm.reserve(events);
+  for (uint64_t e = 0; e < events; ++e) {
+    const size_t owner = sampler.Sample(&rng);
+    UploadFrame frame;
+    frame.owner_step = ++owner_step[owner];
+    frame.batch = SharedRows(kSrcWidth);
+    std::vector<Word> row(kSrcWidth);
+    for (size_t c = 0; c < kSrcWidth; ++c) row[c] = rng.Next32();
+    frame.batch.AppendSecretRow(row, &rng);
+    LogicalRecord rec;
+    rec.step = frame.owner_step;
+    rec.rid = static_cast<uint32_t>(owner);
+    rec.key = static_cast<uint32_t>(e & 0xFFFFFFFFu);
+    rec.date = rng.Next32();
+    rec.payload = rng.Next32();
+    frame.arrivals.push_back(rec);
+    StormEvent ev;
+    ev.conn = owner % conns;
+    ev.payload = EncodeUploadFrame(frame);
+    storm.push_back(std::move(ev));
+  }
+  return storm;
+}
+
+struct Fingerprint {
+  uint64_t hash = 0xcbf29ce484222325ull;  // FNV-1a
+  void MixByte(uint8_t b) {
+    hash ^= b;
+    hash *= 0x100000001b3ull;
+  }
+  void Mix(uint64_t v) {
+    for (int i = 0; i < 8; ++i) MixByte((v >> (8 * i)) & 0xFF);
+  }
+  void MixBytes(const std::vector<uint8_t>& bytes) {
+    Mix(bytes.size());
+    for (uint8_t b : bytes) MixByte(b);
+  }
+};
+
+struct TransportReport {
+  uint64_t frames = 0;
+  uint64_t rounds = 0;
+  uint64_t fingerprint = 0;
+  uint64_t gap_p50 = 0;
+  uint64_t gap_p99 = 0;
+  double seconds = 0;
+  bool ok = false;
+};
+
+// Folds the per-channel fingerprints, in fixed channel order, into the
+// run's single fingerprint — per-channel order is all the transport
+// guarantees (cross-channel interleaving is pacing, not content).
+uint64_t CombineFingerprints(const std::vector<Fingerprint>& per_channel) {
+  Fingerprint combined;
+  for (const Fingerprint& fp : per_channel) combined.Mix(fp.hash);
+  return combined.hash;
+}
+
+// Baseline: the storm pushed straight into bounded in-process channels.
+// Emission and draining interleave in rounds — up to `drain_bound` frames
+// enter and leave each channel per round — which is the same pacing the
+// socket run below uses, so the service-gap stats are comparable.
+TransportReport RunInProcess(const std::vector<StormEvent>& storm,
+                             uint64_t conns, uint64_t drain_bound) {
+  const auto start = std::chrono::steady_clock::now();
+  std::vector<UploadChannel> channels;
+  channels.reserve(conns);
+  for (uint64_t c = 0; c < conns; ++c) channels.emplace_back(kChannelCapacity);
+  // Per-connection FIFO of pending events (index into storm) + the round
+  // each pushed frame entered its channel.
+  std::vector<std::deque<size_t>> pending(conns);
+  for (size_t e = 0; e < storm.size(); ++e) pending[storm[e].conn].push_back(e);
+  std::vector<std::deque<uint64_t>> emit_round(conns);
+  std::vector<Fingerprint> fp(conns);
+  std::vector<uint64_t> gaps;
+  gaps.reserve(storm.size());
+  TransportReport rep;
+  const uint64_t round_budget = kRoundBudgetPerEvent * (storm.size() + 1);
+  while (rep.frames < storm.size()) {
+    for (uint64_t c = 0; c < conns; ++c) {
+      for (uint64_t k = 0; k < drain_bound && !pending[c].empty(); ++k) {
+        if (channels[c].full()) break;
+        const size_t e = pending[c].front();
+        channels[c].TryPush(storm[e].payload);
+        pending[c].pop_front();
+        emit_round[c].push_back(rep.rounds);
+      }
+    }
+    for (uint64_t c = 0; c < conns; ++c) {
+      std::vector<uint8_t> frame;
+      for (uint64_t k = 0; k < drain_bound; ++k) {
+        if (!channels[c].TryPop(&frame)) break;
+        fp[c].MixBytes(frame);
+        gaps.push_back(rep.rounds - emit_round[c].front());
+        emit_round[c].pop_front();
+        ++rep.frames;
+      }
+    }
+    ++rep.rounds;
+    if (rep.rounds > round_budget) {
+      std::fprintf(stderr, "error: in-process storm stalled (%llu/%zu)\n",
+                   static_cast<unsigned long long>(rep.frames), storm.size());
+      return rep;
+    }
+  }
+  rep.fingerprint = CombineFingerprints(fp);
+  rep.gap_p50 = NearestRankPercentile(gaps, 50);
+  rep.gap_p99 = NearestRankPercentile(gaps, 99);
+  rep.seconds = std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                              start)
+                    .count();
+  rep.ok = true;
+  return rep;
+}
+
+// The real thing: the same storm over loopback TCP. Each of the M senders
+// announces channel id = its connection index; owners multiplex owner ->
+// conn = owner mod M. Per round each sender wires up to `drain_bound`
+// staged frames (respecting kernel backpressure), the listener sweeps, and
+// each channel drains up to `drain_bound` frames in fixed order.
+TransportReport RunSocket(const std::vector<StormEvent>& storm, uint64_t conns,
+                          uint64_t drain_bound) {
+  const auto start = std::chrono::steady_clock::now();
+  TransportReport rep;
+  std::vector<UploadChannel> channels;
+  channels.reserve(conns);
+  std::vector<UploadChannel*> channel_ptrs;
+  for (uint64_t c = 0; c < conns; ++c) {
+    channels.emplace_back(kChannelCapacity);
+    channel_ptrs.push_back(&channels.back());
+  }
+  SocketListenerOptions lopt;
+  lopt.validate_frames = true;  // full hardened path, per-frame decode
+  lopt.max_connections = conns;
+  SocketListener listener(channel_ptrs, lopt);
+  if (Status s = listener.Bind(0); !s.ok()) {
+    std::fprintf(stderr, "error: listener bind failed: %s\n",
+                 s.message().c_str());
+    return rep;
+  }
+  std::vector<SocketSender> senders(conns);
+  for (uint64_t c = 0; c < conns; ++c) {
+    if (Status s = senders[c].Connect("127.0.0.1", listener.port(),
+                                      static_cast<uint32_t>(c));
+        !s.ok()) {
+      std::fprintf(stderr, "error: sender %llu connect failed: %s\n",
+                   static_cast<unsigned long long>(c), s.message().c_str());
+      return rep;
+    }
+  }
+  std::vector<std::deque<size_t>> pending(conns);
+  for (size_t e = 0; e < storm.size(); ++e) pending[storm[e].conn].push_back(e);
+  std::vector<std::deque<uint64_t>> emit_round(conns);
+  std::vector<Fingerprint> fp(conns);
+  std::vector<uint64_t> gaps;
+  gaps.reserve(storm.size());
+  const uint64_t round_budget = kRoundBudgetPerEvent * (storm.size() + 1);
+  while (rep.frames < storm.size()) {
+    for (uint64_t c = 0; c < conns; ++c) {
+      for (uint64_t k = 0; k < drain_bound && !pending[c].empty(); ++k) {
+        if (Result<size_t> w = senders[c].Flush(); !w.ok()) {
+          std::fprintf(stderr, "error: sender %llu flush failed: %s\n",
+                       static_cast<unsigned long long>(c),
+                       w.status().message().c_str());
+          return rep;
+        }
+        if (!senders[c].fully_flushed()) break;  // kernel backpressure
+        const size_t e = pending[c].front();
+        if (Status s = senders[c].QueueFrame(storm[e].payload); !s.ok()) {
+          std::fprintf(stderr, "error: sender %llu queue failed: %s\n",
+                       static_cast<unsigned long long>(c),
+                       s.message().c_str());
+          return rep;
+        }
+        pending[c].pop_front();
+        emit_round[c].push_back(rep.rounds);
+      }
+      if (Result<size_t> w = senders[c].Flush(); !w.ok()) {
+        std::fprintf(stderr, "error: sender %llu flush failed: %s\n",
+                     static_cast<unsigned long long>(c),
+                     w.status().message().c_str());
+        return rep;
+      }
+    }
+    listener.Poll();
+    for (uint64_t c = 0; c < conns; ++c) {
+      std::vector<uint8_t> frame;
+      for (uint64_t k = 0; k < drain_bound; ++k) {
+        if (!channels[c].TryPop(&frame)) break;
+        fp[c].MixBytes(frame);
+        gaps.push_back(rep.rounds - emit_round[c].front());
+        emit_round[c].pop_front();
+        ++rep.frames;
+      }
+    }
+    ++rep.rounds;
+    if (rep.rounds > round_budget) {
+      std::fprintf(stderr, "error: socket storm stalled (%llu/%zu)\n",
+                   static_cast<unsigned long long>(rep.frames), storm.size());
+      return rep;
+    }
+  }
+  if (listener.frames_rejected() != 0) {
+    std::fprintf(stderr, "error: listener rejected %llu honest frames\n",
+                 static_cast<unsigned long long>(listener.frames_rejected()));
+    return rep;
+  }
+  listener.Close();
+  rep.fingerprint = CombineFingerprints(fp);
+  rep.gap_p50 = NearestRankPercentile(gaps, 50);
+  rep.gap_p99 = NearestRankPercentile(gaps, 99);
+  rep.seconds = std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                              start)
+                    .count();
+  rep.ok = true;
+  return rep;
+}
+
+void PrintReport(const char* name, const TransportReport& rep) {
+  std::printf("%-12s frames=%-8llu rounds=%-7llu fps=%-11.0f "
+              "gap_p50=%-4llu gap_p99=%-4llu fingerprint=%016llx\n",
+              name, static_cast<unsigned long long>(rep.frames),
+              static_cast<unsigned long long>(rep.rounds),
+              rep.seconds > 0 ? rep.frames / rep.seconds : 0.0,
+              static_cast<unsigned long long>(rep.gap_p50),
+              static_cast<unsigned long long>(rep.gap_p99),
+              static_cast<unsigned long long>(rep.fingerprint));
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const Options opt = ParseOptions(argc, argv);
+  const uint64_t owners = opt.owners == 0 ? 1 : opt.owners;
+  const uint64_t conns = opt.conns == 0 ? 1 : opt.conns;
+  const uint64_t drain_bound = opt.drain_bound == 0 ? 1 : opt.drain_bound;
+  const uint64_t events =
+      opt.storm_events == 0 ? 3 * owners : opt.storm_events;
+
+  PrintHeader("Owner storm: socket transport vs in-process baseline");
+  std::printf("owners=%llu conns=%llu events=%llu drain_bound=%llu "
+              "zipf_s=%.2f\n\n",
+              static_cast<unsigned long long>(owners),
+              static_cast<unsigned long long>(conns),
+              static_cast<unsigned long long>(events),
+              static_cast<unsigned long long>(drain_bound), opt.zipf_s);
+
+  const std::vector<StormEvent> storm =
+      GenerateStorm(owners, conns, events, opt.zipf_s);
+  uint64_t storm_bytes = 0;
+  for (const StormEvent& ev : storm) storm_bytes += ev.payload.size();
+  std::printf("storm: %zu frames, %llu bytes\n\n", storm.size(),
+              static_cast<unsigned long long>(storm_bytes));
+
+  const TransportReport inproc = RunInProcess(storm, conns, drain_bound);
+  if (!inproc.ok) return 1;
+  PrintReport("in-process", inproc);
+
+  const TransportReport socket = RunSocket(storm, conns, drain_bound);
+  if (!socket.ok) return 1;
+  PrintReport("socket", socket);
+
+  const bool match = socket.fingerprint == inproc.fingerprint &&
+                     socket.frames == inproc.frames;
+  std::printf("\nfingerprint cross-check: %s\n",
+              match ? "MATCH (socket run reproduces in-process bytes exactly)"
+                    : "MISMATCH");
+  return match ? 0 : 1;
+}

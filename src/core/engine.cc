@@ -184,7 +184,14 @@ Status Engine::BeginStepImpl() {
       if (f2.batch.width() != kSrcWidth) {
         return Status::InvalidArgument("upload frame has wrong row width");
       }
-      INCSHRINK_CHECK_EQ(f1.owner_step, f2.owner_step);
+      // A hostile or buggy peer can desynchronize the two owner streams;
+      // over a real wire that must surface as a Status, never abort the
+      // server (the transport's per-connection sequence stamps catch most
+      // of this earlier, but the engine is the last line of defense).
+      if (f1.owner_step != f2.owner_step) {
+        return Status::InvalidArgument(
+            "paired upload frames disagree on owner step");
+      }
       truth_.Step(f1.arrivals, f2.arrivals);
       merged2.AppendAll(f2.batch);
       ++frames_drained_;

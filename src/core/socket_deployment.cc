@@ -1,0 +1,147 @@
+#include "src/core/socket_deployment.h"
+
+#include "src/common/logging.h"
+
+namespace incshrink {
+
+// ---------------------------------------------------------------------------
+// SocketOwnerClient
+// ---------------------------------------------------------------------------
+
+SocketOwnerClient::SocketOwnerClient(const IncShrinkConfig& config,
+                                     int owner_index,
+                                     const SocketSenderOptions& options)
+    : local_channel_(config.upload_channel_capacity),
+      sender_(options),
+      owner_(owner_index == 0 ? MakeOwner1(config, &local_channel_)
+                              : MakeOwner2(config, &local_channel_)) {}
+
+Result<std::unique_ptr<SocketOwnerClient>> SocketOwnerClient::Dial(
+    const IncShrinkConfig& config, int owner_index, const std::string& host,
+    uint16_t port, const SocketSenderOptions& options) {
+  INCSHRINK_CHECK(owner_index == 0 || owner_index == 1);
+  // No make_unique: the constructor is private.
+  std::unique_ptr<SocketOwnerClient> client(
+      new SocketOwnerClient(config, owner_index, options));
+  INCSHRINK_RETURN_NOT_OK(client->sender_.Connect(
+      host, port, static_cast<uint32_t>(owner_index)));
+  return client;
+}
+
+Result<size_t> SocketOwnerClient::Pump() {
+  size_t completed = 0;
+  for (;;) {
+    INCSHRINK_ASSIGN_OR_RETURN(const size_t written, sender_.Flush());
+    (void)written;
+    if (!sender_.fully_flushed()) break;  // kernel is full; retry later
+    if (in_flight_bytes_ > 0) {
+      in_flight_bytes_ = 0;
+      ++completed;
+    }
+    std::vector<uint8_t> frame;
+    if (!local_channel_.TryPop(&frame)) break;
+    in_flight_bytes_ = frame.size();
+    INCSHRINK_RETURN_NOT_OK(sender_.QueueFrame(frame));
+  }
+  return completed;
+}
+
+Result<bool> SocketOwnerClient::TryStep(
+    const std::vector<LogicalRecord>& arrivals) {
+  INCSHRINK_RETURN_NOT_OK(Pump().status());
+  // The probe-before-build discipline lives inside OwnerClient::TryStep: a
+  // full local channel means the wire (and ultimately the engine) has not
+  // kept up, and the refusal is the same public NoteBackpressure event the
+  // in-process transport records.
+  const bool took = owner_.TryStep(arrivals);
+  INCSHRINK_RETURN_NOT_OK(Pump().status());
+  return took;
+}
+
+bool SocketOwnerClient::drained() const {
+  return local_channel_.empty() && in_flight_bytes_ == 0 &&
+         sender_.fully_flushed();
+}
+
+Status SocketOwnerClient::Reconnect() {
+  in_flight_bytes_ = 0;
+  return sender_.Reconnect();
+}
+
+// ---------------------------------------------------------------------------
+// SocketDeployment
+// ---------------------------------------------------------------------------
+
+SocketDeployment::SocketDeployment(const IncShrinkConfig& config,
+                                   const Options& options)
+    : config_(config),
+      options_(options),
+      engine_(config),
+      listener_({engine_.channel1(), engine_.channel2()}, options.listener) {}
+
+Status SocketDeployment::Start() {
+  INCSHRINK_CHECK(!started_);
+  INCSHRINK_RETURN_NOT_OK(listener_.Bind(0));
+  INCSHRINK_ASSIGN_OR_RETURN(
+      owner1_, SocketOwnerClient::Dial(config_, 0, "127.0.0.1",
+                                       listener_.port(), options_.sender));
+  if (config_.view_kind != ViewKind::kFilter) {
+    INCSHRINK_ASSIGN_OR_RETURN(
+        owner2_, SocketOwnerClient::Dial(config_, 1, "127.0.0.1",
+                                         listener_.port(), options_.sender));
+  }
+  started_ = true;
+  return Status::OK();
+}
+
+Status SocketDeployment::Step(const std::vector<LogicalRecord>& new1,
+                              const std::vector<LogicalRecord>& new2) {
+  INCSHRINK_CHECK(started_);
+  const bool join_view = config_.view_kind != ViewKind::kFilter;
+  // Tick the owners. Lockstep keeps every queue shallow, so a refusal can
+  // only mean the previous frame is still in flight — pump the wire and
+  // retry, bounded by the step's poll budget.
+  bool took1 = false;
+  bool took2 = !join_view;
+  for (uint32_t i = 0; i <= options_.max_wait_polls; ++i) {
+    if (!took1) {
+      INCSHRINK_ASSIGN_OR_RETURN(took1, owner1_->TryStep(new1));
+    }
+    if (!took2) {
+      INCSHRINK_ASSIGN_OR_RETURN(took2, owner2_->TryStep(new2));
+    }
+    if (took1 && took2) break;
+    listener_.Poll();
+  }
+  if (!took1 || !took2) {
+    return Status::Internal("owner step never accepted (wire stalled)");
+  }
+  // Pump the frames across the wire until the engine-side channels hold the
+  // pair (the listener's poll timeout bounds each wait; the sweep count
+  // bounds the total).
+  for (uint32_t i = 0;; ++i) {
+    INCSHRINK_RETURN_NOT_OK(owner1_->Pump().status());
+    if (join_view) INCSHRINK_RETURN_NOT_OK(owner2_->Pump().status());
+    listener_.Poll();
+    if (!engine_.channel1()->empty() &&
+        (!join_view || !engine_.channel2()->empty())) {
+      break;
+    }
+    if (i >= options_.max_wait_polls) {
+      return Status::Internal("upload frames never arrived (wire stalled)");
+    }
+  }
+  return engine_.Step();
+}
+
+Status SocketDeployment::Run(
+    const std::vector<std::vector<LogicalRecord>>& arrivals1,
+    const std::vector<std::vector<LogicalRecord>>& arrivals2) {
+  INCSHRINK_CHECK_EQ(arrivals1.size(), arrivals2.size());
+  for (size_t i = 0; i < arrivals1.size(); ++i) {
+    INCSHRINK_RETURN_NOT_OK(Step(arrivals1[i], arrivals2[i]));
+  }
+  return Status::OK();
+}
+
+}  // namespace incshrink

@@ -1,0 +1,142 @@
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "src/core/config.h"
+#include "src/core/engine.h"
+#include "src/core/owner_client.h"
+#include "src/net/socket_transport.h"
+#include "src/net/upload_channel.h"
+
+namespace incshrink {
+
+/// \brief The owner side of the socket transport: an OwnerClient whose
+/// frames travel over a real TCP connection instead of directly into the
+/// engine's queue.
+///
+/// Composition (nothing above the channel changes):
+///
+///   OwnerClient --TryPush--> local outbound UploadChannel
+///       --Pump--> SocketSender --wire--> SocketListener
+///       --TryPush--> engine-side UploadChannel --drain--> Engine
+///
+/// The OwnerClient is byte-for-byte the in-process one — same policy/share
+/// randomness seeds, same frames — it just pushes into a local outbound
+/// channel owned by this wrapper. Pump() moves completed frames from that
+/// channel onto the wire, one in flight at a time, so end-to-end
+/// backpressure is tightly bounded: engine channel full → listener pauses
+/// reads → kernel buffers fill → Flush stops → local channel fills →
+/// OwnerClient::TryStep probes full() *before* constructing a frame and
+/// refuses with NoteBackpressure, exactly the in-process semantics.
+class SocketOwnerClient {
+ public:
+  /// Builds the owner for `owner_index` (0 = T1, 1 = T2) of `config` — via
+  /// the canonical MakeOwner1/2, so the seed derivation matches every other
+  /// driver — and dials the listener at host:port, announcing engine
+  /// channel `owner_index`.
+  static Result<std::unique_ptr<SocketOwnerClient>> Dial(
+      const IncShrinkConfig& config, int owner_index, const std::string& host,
+      uint16_t port, const SocketSenderOptions& options = {});
+
+  /// Moves frames local-channel → sender → kernel as far as the socket
+  /// allows without blocking. Returns the number of frames fully handed to
+  /// the kernel this call.
+  Result<size_t> Pump();
+
+  /// One owner step: pump, then let the OwnerClient probe the (local)
+  /// channel and either emit this step's frame or refuse with public
+  /// backpressure; pump again so the frame starts traveling immediately.
+  /// Returns whether the step was taken.
+  Result<bool> TryStep(const std::vector<LogicalRecord>& arrivals);
+
+  /// True when every emitted frame has been handed to the kernel.
+  bool drained() const;
+
+  /// Re-dials after a connection loss. Frames already handed to the kernel
+  /// may be lost with the old connection; frames still queued locally are
+  /// re-sent on the new stream (stamps restart at 1 — the listener sees a
+  /// fresh connection).
+  Status Reconnect();
+
+  OwnerClient& owner() { return owner_; }
+  const OwnerClient& owner() const { return owner_; }
+  SocketSender& sender() { return sender_; }
+  UploadChannel& local_channel() { return local_channel_; }
+
+ private:
+  SocketOwnerClient(const IncShrinkConfig& config, int owner_index,
+                    const SocketSenderOptions& options);
+
+  UploadChannel local_channel_;
+  SocketSender sender_;
+  OwnerClient owner_;
+  /// Payload sizes handed to the sender but not yet fully flushed (front =
+  /// oldest). Pump only queues a new frame when the previous one left the
+  /// building, keeping at most one frame in the sender's buffer.
+  uint64_t in_flight_bytes_ = 0;
+};
+
+/// \brief One full deployment over the real wire: the engine, a listener
+/// bound to an ephemeral loopback port feeding the engine's channels, and
+/// socket-backed owners — driven in lockstep like SynchronousDeployment.
+///
+/// Each Step ticks both owners (frames go over TCP), polls the listener
+/// until the engine-side channels hold the step's frame pair, then steps
+/// the engine. Because the socket path preserves per-owner frame order and
+/// content exactly, a SocketDeployment run is bit-identical to a
+/// SynchronousDeployment run — summaries and transcripts — at any thread
+/// count (tests/socket_transport_test.cc pins this for every DP strategy).
+class SocketDeployment {
+ public:
+  struct Options {
+    SocketListenerOptions listener;
+    SocketSenderOptions sender;
+    /// Poll sweeps Step() waits for a frame pair before giving up (with
+    /// listener.poll_timeout_ms = 1 the default bounds a hung owner at
+    /// ~10 s — timeout plumbing, not behavior).
+    uint32_t max_wait_polls = 10000;
+  };
+
+  explicit SocketDeployment(const IncShrinkConfig& config,
+                            const Options& options = DefaultOptions());
+
+  /// Binds the listener and dials the owners. Call once before Step/Run.
+  Status Start();
+
+  /// Lockstep step over the wire (see class comment).
+  Status Step(const std::vector<LogicalRecord>& new1,
+              const std::vector<LogicalRecord>& new2);
+
+  /// Runs `Step` over aligned per-step arrival vectors.
+  Status Run(const std::vector<std::vector<LogicalRecord>>& arrivals1,
+             const std::vector<std::vector<LogicalRecord>>& arrivals2);
+
+  Engine& engine() { return engine_; }
+  const Engine& engine() const { return engine_; }
+  SocketListener& listener() { return listener_; }
+  SocketOwnerClient& owner1() { return *owner1_; }
+  SocketOwnerClient& owner2() { return *owner2_; }
+
+  RunSummary Summary() const { return engine_.Summary(); }
+  const Transcript& transcript() const { return engine_.transcript(); }
+
+  static Options DefaultOptions() {
+    Options opt;
+    opt.listener.poll_timeout_ms = 1;
+    return opt;
+  }
+
+ private:
+  IncShrinkConfig config_;
+  Options options_;
+  Engine engine_;
+  SocketListener listener_;
+  std::unique_ptr<SocketOwnerClient> owner1_;
+  std::unique_ptr<SocketOwnerClient> owner2_;
+  bool started_ = false;
+};
+
+}  // namespace incshrink

@@ -1,0 +1,106 @@
+#include "src/net/frame_codec.h"
+
+#include <cstring>
+
+#include "src/common/logging.h"
+
+namespace incshrink {
+
+namespace {
+
+constexpr char kHelloMagic[4] = {'I', 'U', 'H', '1'};
+
+void AppendU32(std::vector<uint8_t>* out, uint32_t v) {
+  for (int i = 0; i < 4; ++i) out->push_back((v >> (8 * i)) & 0xFF);
+}
+
+void AppendU64(std::vector<uint8_t>* out, uint64_t v) {
+  for (int i = 0; i < 8; ++i) out->push_back((v >> (8 * i)) & 0xFF);
+}
+
+uint32_t ReadU32(const uint8_t* p) {
+  uint32_t v = 0;
+  for (int i = 0; i < 4; ++i) v |= static_cast<uint32_t>(p[i]) << (8 * i);
+  return v;
+}
+
+uint64_t ReadU64(const uint8_t* p) {
+  uint64_t v = 0;
+  for (int i = 0; i < 8; ++i) v |= static_cast<uint64_t>(p[i]) << (8 * i);
+  return v;
+}
+
+}  // namespace
+
+std::vector<uint8_t> EncodeHello(uint32_t channel_id) {
+  std::vector<uint8_t> out;
+  out.reserve(kHelloBytes);
+  for (char c : kHelloMagic) out.push_back(static_cast<uint8_t>(c));
+  AppendU32(&out, channel_id);
+  return out;
+}
+
+void AppendEnvelope(std::vector<uint8_t>* out, uint64_t seq,
+                    const std::vector<uint8_t>& payload) {
+  INCSHRINK_CHECK(!payload.empty());
+  INCSHRINK_CHECK_LE(payload.size(), UINT32_MAX);
+  AppendU32(out, static_cast<uint32_t>(payload.size()));
+  AppendU64(out, seq);
+  out->insert(out->end(), payload.begin(), payload.end());
+}
+
+void FrameAssembler::Feed(const uint8_t* data, size_t n) {
+  buf_.insert(buf_.end(), data, data + n);
+}
+
+void FrameAssembler::Compact() {
+  if (pos_ > 4096 && pos_ * 2 > buf_.size()) {
+    buf_.erase(buf_.begin(), buf_.begin() + static_cast<ptrdiff_t>(pos_));
+    pos_ = 0;
+  }
+}
+
+Result<bool> FrameAssembler::TakeHello(uint32_t* channel_id) {
+  if (!poison_.ok()) return poison_;
+  if (buffered_bytes() < kHelloBytes) return false;
+  if (std::memcmp(buf_.data() + pos_, kHelloMagic, 4) != 0) {
+    poison_ = Status::InvalidArgument("bad hello magic");
+    return poison_;
+  }
+  *channel_id = ReadU32(buf_.data() + pos_ + 4);
+  pos_ += kHelloBytes;
+  Compact();
+  return true;
+}
+
+Result<bool> FrameAssembler::TakeFrame(WireFrame* out) {
+  if (!poison_.ok()) return poison_;
+  if (buffered_bytes() < kEnvelopeBytes) return false;
+  const uint8_t* head = buf_.data() + pos_;
+  const uint32_t payload_len = ReadU32(head);
+  // Validate the envelope before waiting for (or allocating) the payload: a
+  // hostile length must neither OOM the server nor stall the stream.
+  if (payload_len == 0) {
+    poison_ = Status::InvalidArgument("zero-length frame payload");
+    return poison_;
+  }
+  if (payload_len > max_frame_bytes_) {
+    poison_ = Status::InvalidArgument("frame payload exceeds size limit");
+    return poison_;
+  }
+  const uint64_t stamp = ReadU64(head + 4);
+  if (stamp != next_seq_) {
+    poison_ = Status::InvalidArgument("sequence stamp break");
+    return poison_;
+  }
+  if (buffered_bytes() < kEnvelopeBytes + payload_len) return false;
+  out->seq = stamp;
+  out->payload.assign(head + kEnvelopeBytes,
+                      head + kEnvelopeBytes + payload_len);
+  pos_ += kEnvelopeBytes + payload_len;
+  ++next_seq_;
+  Compact();
+  return true;
+}
+
+}  // namespace incshrink

@@ -2,6 +2,8 @@
 
 #include <cstring>
 
+#include "src/common/logging.h"
+
 namespace incshrink {
 
 namespace {
@@ -31,6 +33,9 @@ uint32_t ReadU32(const uint8_t* p) {
 }  // namespace
 
 std::vector<uint8_t> SerializeShares(const SharedRows& rows, int server) {
+  // Only servers 0 and 1 exist; silently mapping any other value onto
+  // server 1's shares would hand a caller the wrong half of the secret.
+  INCSHRINK_CHECK(server == 0 || server == 1);
   std::vector<uint8_t> out;
   out.reserve(20 + rows.size() * rows.width() * 4);
   for (char c : kMagic) out.push_back(static_cast<uint8_t>(c));
@@ -50,8 +55,23 @@ Result<ShareBlob> ParseShareBlob(const std::vector<uint8_t>& bytes) {
   ShareBlob blob;
   blob.width = ReadU64(bytes.data() + 4);
   blob.rows = ReadU64(bytes.data() + 12);
+  // Hostile dimension headers must be rejected with overflow-guarded
+  // arithmetic (mirrors DecodeUploadFrame): width = rows = 2^32 wraps
+  // width*rows to 0, and width = 1, rows = 2^62 wraps the byte count to 0 —
+  // either would slip a blob claiming astronomic dimensions past an
+  // unguarded exact-size check and send CombineShareBlobs indexing out of
+  // bounds. A zero width must not smuggle a nonzero row count through the
+  // words == 0 case for the same reason.
+  if (blob.width == 0 && blob.rows != 0) {
+    return Status::InvalidArgument("blob dimensions invalid");
+  }
   const uint64_t expected_words = blob.width * blob.rows;
-  if (bytes.size() != 20 + expected_words * 4) {
+  if (blob.width != 0 && expected_words / blob.width != blob.rows) {
+    return Status::InvalidArgument("blob dimensions overflow");
+  }
+  const uint64_t payload_bytes = bytes.size() - 20;
+  if (expected_words > payload_bytes / 4 ||
+      payload_bytes != expected_words * 4) {
     return Status::InvalidArgument("blob size does not match dimensions");
   }
   blob.words.reserve(expected_words);
@@ -148,16 +168,22 @@ Result<UploadFrame> DecodeUploadFrame(const std::vector<uint8_t>& bytes) {
     return Status::InvalidArgument("truncated frame share section");
   }
   frame.batch = SharedRows(static_cast<size_t>(width));
-  std::vector<Word> share0(words), share1(words);
-  for (uint64_t i = 0; i < words; ++i) share0[i] = r.U32();
-  for (uint64_t i = 0; i < words; ++i) share1[i] = r.U32();
-  std::vector<Word> row0(width), row1(width);
-  for (uint64_t row = 0; row < rows; ++row) {
-    for (uint64_t c = 0; c < width; ++c) {
-      row0[c] = share0[row * width + c];
-      row1[c] = share1[row * width + c];
+  // Zero-row frames skip the scratch buffers entirely: a hostile header can
+  // pair rows = 0 with an astronomic width (words = 0 sails through every
+  // payload-fit check above), and width-sized allocations would turn that
+  // 28-byte frame into a multi-gigabyte allocation.
+  if (rows > 0) {
+    std::vector<Word> share0(words), share1(words);
+    for (uint64_t i = 0; i < words; ++i) share0[i] = r.U32();
+    for (uint64_t i = 0; i < words; ++i) share1[i] = r.U32();
+    std::vector<Word> row0(width), row1(width);
+    for (uint64_t row = 0; row < rows; ++row) {
+      for (uint64_t c = 0; c < width; ++c) {
+        row0[c] = share0[row * width + c];
+        row1[c] = share1[row * width + c];
+      }
+      frame.batch.AppendSharedRow(row0, row1);
     }
-    frame.batch.AppendSharedRow(row0, row1);
   }
   const uint64_t num_arrivals = r.U64();
   if (!r.ok || num_arrivals > (r.size - r.pos) / 24) {
@@ -188,13 +214,18 @@ Result<SharedRows> CombineShareBlobs(const std::vector<uint8_t>& server0,
     return Status::InvalidArgument("share blobs disagree on dimensions");
   }
   SharedRows rows(b0.width);
-  std::vector<Word> row0(b0.width), row1(b0.width);
-  for (uint64_t r = 0; r < b0.rows; ++r) {
-    for (uint64_t c = 0; c < b0.width; ++c) {
-      row0[c] = b0.words[r * b0.width + c];
-      row1[c] = b1.words[r * b0.width + c];
+  // Same zero-row hazard as DecodeUploadFrame: a blob claiming rows = 0 with
+  // an astronomic width parses fine (it has no payload to contradict it), so
+  // the width-sized scratch rows must not be allocated for it.
+  if (b0.rows > 0) {
+    std::vector<Word> row0(b0.width), row1(b0.width);
+    for (uint64_t r = 0; r < b0.rows; ++r) {
+      for (uint64_t c = 0; c < b0.width; ++c) {
+        row0[c] = b0.words[r * b0.width + c];
+        row1[c] = b1.words[r * b0.width + c];
+      }
+      rows.AppendSharedRow(row0, row1);
     }
-    rows.AppendSharedRow(row0, row1);
   }
   return rows;
 }

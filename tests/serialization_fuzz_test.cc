@@ -1,0 +1,393 @@
+// Deterministic mutation-fuzz suite for the untrusted decoders: every byte
+// sequence handed to ParseShareBlob / CombineShareBlobs / DecodeUploadFrame
+// (and the wire-envelope FrameAssembler in front of them) must yield either
+// a Status or a valid parse — never a crash, an abort, an OOM or an
+// out-of-bounds access. All mutations are drawn from a seeded Rng, so a
+// failing input reproduces from its seed alone. The suite is part of the
+// ASan CI job, which is what turns "never an out-of-bounds access" from a
+// hope into a check — including the historical ParseShareBlob
+// width*rows / expected_words*4 overflow headers that used to crash.
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <cstring>
+#include <vector>
+
+#include "src/common/rng.h"
+#include "src/net/frame_codec.h"
+#include "src/oblivious/formats.h"
+#include "src/secret/shared_rows.h"
+#include "src/storage/serialization.h"
+
+namespace incshrink {
+namespace {
+
+/// A small honest SharedRows batch to derive valid encodings from.
+SharedRows SampleRows(size_t rows, Rng* rng) {
+  SharedRows out(kSrcWidth);
+  for (size_t r = 0; r < rows; ++r) {
+    std::vector<Word> row(kSrcWidth);
+    for (Word& w : row) w = rng->Next32();
+    out.AppendSecretRow(row, rng);
+  }
+  return out;
+}
+
+std::vector<uint8_t> SampleFrameBytes(size_t rows, Rng* rng) {
+  UploadFrame frame;
+  frame.owner_step = rng->Uniform(1000);
+  frame.batch = SampleRows(rows, rng);
+  const size_t arrivals = rng->Uniform(4);
+  for (size_t i = 0; i < arrivals; ++i) {
+    frame.arrivals.push_back({frame.owner_step, rng->Next32(), rng->Next32(),
+                              rng->Next32(), rng->Next32()});
+  }
+  return EncodeUploadFrame(frame);
+}
+
+/// Overwrites the little-endian u64 at `offset`.
+void PutU64(std::vector<uint8_t>* bytes, size_t offset, uint64_t value) {
+  for (int i = 0; i < 8; ++i) {
+    (*bytes)[offset + i] = static_cast<uint8_t>(value >> (8 * i));
+  }
+}
+
+/// The hostile dimension values every header sweep draws from: the wrap
+/// cases that used to crash ParseShareBlob, plus boundary neighbors.
+const uint64_t kHostileDims[] = {0,
+                                 1,
+                                 2,
+                                 5,
+                                 (1ull << 31),
+                                 (1ull << 32),
+                                 (1ull << 32) + 1,
+                                 (1ull << 33),
+                                 (1ull << 62),
+                                 (1ull << 63),
+                                 UINT64_MAX - 1,
+                                 UINT64_MAX};
+
+// ---------------------------------------------------------------------------
+// ParseShareBlob / CombineShareBlobs
+// ---------------------------------------------------------------------------
+
+TEST(ShareBlobFuzzTest, TruncationAtEveryPrefixYieldsStatusOrValid) {
+  Rng rng(2024);
+  const SharedRows rows = SampleRows(7, &rng);
+  const std::vector<uint8_t> blob = SerializeShares(rows, 0);
+  for (size_t len = 0; len <= blob.size(); ++len) {
+    const std::vector<uint8_t> prefix(blob.begin(), blob.begin() + len);
+    const Result<ShareBlob> parsed = ParseShareBlob(prefix);
+    if (len == blob.size()) {
+      ASSERT_TRUE(parsed.ok());
+      EXPECT_EQ(parsed->rows, 7u);
+      EXPECT_EQ(parsed->width, kSrcWidth);
+    } else {
+      EXPECT_FALSE(parsed.ok()) << "truncation to " << len << " parsed";
+    }
+  }
+}
+
+TEST(ShareBlobFuzzTest, SeededBitFlipsNeverCrash) {
+  Rng rng(4242);
+  const SharedRows rows = SampleRows(5, &rng);
+  const std::vector<uint8_t> blob = SerializeShares(rows, 1);
+  for (int iter = 0; iter < 4000; ++iter) {
+    std::vector<uint8_t> mutated = blob;
+    // 1-4 random bit flips anywhere, header included.
+    const size_t flips = 1 + rng.Uniform(4);
+    for (size_t f = 0; f < flips; ++f) {
+      mutated[rng.Uniform(mutated.size())] ^=
+          static_cast<uint8_t>(1u << rng.Uniform(8));
+    }
+    const Result<ShareBlob> parsed = ParseShareBlob(mutated);
+    if (parsed.ok()) {
+      // A flip in the word section (or one that cancelled out) still parses
+      // — then the parsed dimensions must be internally consistent.
+      EXPECT_EQ(parsed->words.size(), parsed->width * parsed->rows);
+    }
+  }
+}
+
+TEST(ShareBlobFuzzTest, HostileDimensionHeaderSweepNeverCrashes) {
+  Rng rng(7);
+  const SharedRows rows = SampleRows(4, &rng);
+  const std::vector<uint8_t> blob = SerializeShares(rows, 0);
+  // Every (width, rows) pair from the hostile set, stamped over an
+  // otherwise-valid blob: either the dimensions happen to match the payload
+  // (the honest pair) or the parser must reject — never wrap, never
+  // over-read, never allocate absurdly.
+  for (uint64_t width : kHostileDims) {
+    for (uint64_t rows_claim : kHostileDims) {
+      std::vector<uint8_t> mutated = blob;
+      PutU64(&mutated, 4, width);
+      PutU64(&mutated, 12, rows_claim);
+      const Result<ShareBlob> parsed = ParseShareBlob(mutated);
+      const bool honest = width == kSrcWidth && rows_claim == 4;
+      EXPECT_EQ(parsed.ok(), honest)
+          << "width=" << width << " rows=" << rows_claim;
+    }
+  }
+}
+
+TEST(ShareBlobFuzzTest, RandomGarbageAlwaysRejected) {
+  Rng rng(99);
+  for (int iter = 0; iter < 2000; ++iter) {
+    std::vector<uint8_t> garbage(rng.Uniform(256));
+    for (uint8_t& byte : garbage) byte = static_cast<uint8_t>(rng.Next32());
+    // Random bytes essentially never carry the magic; when they do, the
+    // parse must still be internally consistent. Either way: no crash.
+    const Result<ShareBlob> parsed = ParseShareBlob(garbage);
+    if (parsed.ok()) {
+      EXPECT_EQ(parsed->words.size(), parsed->width * parsed->rows);
+    }
+  }
+}
+
+TEST(ShareBlobFuzzTest, CombineOnMutatedPairsNeverCrashes) {
+  Rng rng(1234);
+  const SharedRows rows = SampleRows(6, &rng);
+  const std::vector<uint8_t> blob0 = SerializeShares(rows, 0);
+  const std::vector<uint8_t> blob1 = SerializeShares(rows, 1);
+  // Honest pair reassembles.
+  ASSERT_TRUE(CombineShareBlobs(blob0, blob1).ok());
+  for (int iter = 0; iter < 2000; ++iter) {
+    std::vector<uint8_t> m0 = blob0;
+    std::vector<uint8_t> m1 = blob1;
+    // Mutate one side, the other, or both: flips, truncations, hostile
+    // dimension stamps.
+    for (std::vector<uint8_t>* target : {&m0, &m1}) {
+      switch (rng.Uniform(4)) {
+        case 0:
+          break;  // leave honest
+        case 1:
+          (*target)[rng.Uniform(target->size())] ^=
+              static_cast<uint8_t>(1u << rng.Uniform(8));
+          break;
+        case 2:
+          target->resize(rng.Uniform(target->size() + 1));
+          break;
+        default:
+          if (target->size() >= 20) {
+            PutU64(target, 4, kHostileDims[rng.Uniform(12)]);
+            PutU64(target, 12, kHostileDims[rng.Uniform(12)]);
+          }
+          break;
+      }
+    }
+    const Result<SharedRows> combined = CombineShareBlobs(m0, m1);
+    if (combined.ok()) {
+      EXPECT_EQ(combined->width(), kSrcWidth);
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// DecodeUploadFrame
+// ---------------------------------------------------------------------------
+
+TEST(UploadFrameFuzzTest, TruncationAtEveryPrefixYieldsStatusOrValid) {
+  Rng rng(55);
+  const std::vector<uint8_t> frame = SampleFrameBytes(5, &rng);
+  for (size_t len = 0; len <= frame.size(); ++len) {
+    const std::vector<uint8_t> prefix(frame.begin(), frame.begin() + len);
+    const Result<UploadFrame> parsed = DecodeUploadFrame(prefix);
+    if (len == frame.size()) {
+      ASSERT_TRUE(parsed.ok());
+      EXPECT_EQ(parsed->batch.size(), 5u);
+    } else {
+      EXPECT_FALSE(parsed.ok()) << "truncation to " << len << " parsed";
+    }
+  }
+}
+
+TEST(UploadFrameFuzzTest, SeededBitFlipsNeverCrash) {
+  Rng rng(777);
+  const std::vector<uint8_t> frame = SampleFrameBytes(4, &rng);
+  for (int iter = 0; iter < 4000; ++iter) {
+    std::vector<uint8_t> mutated = frame;
+    const size_t flips = 1 + rng.Uniform(4);
+    for (size_t f = 0; f < flips; ++f) {
+      mutated[rng.Uniform(mutated.size())] ^=
+          static_cast<uint8_t>(1u << rng.Uniform(8));
+    }
+    const Result<UploadFrame> parsed = DecodeUploadFrame(mutated);
+    if (parsed.ok()) {
+      EXPECT_EQ(parsed->batch.width(), kSrcWidth);
+    }
+  }
+}
+
+TEST(UploadFrameFuzzTest, HostileDimensionHeaderSweepNeverCrashes) {
+  Rng rng(31337);
+  const std::vector<uint8_t> frame = SampleFrameBytes(3, &rng);
+  // IUF layout: magic(3) + version(1) + owner_step(8) + width(8) + rows(8).
+  for (uint64_t width : kHostileDims) {
+    for (uint64_t rows_claim : kHostileDims) {
+      std::vector<uint8_t> mutated = frame;
+      PutU64(&mutated, 12, width);
+      PutU64(&mutated, 20, rows_claim);
+      const Result<UploadFrame> parsed = DecodeUploadFrame(mutated);
+      const bool honest = width == kSrcWidth && rows_claim == 3;
+      EXPECT_EQ(parsed.ok(), honest)
+          << "width=" << width << " rows=" << rows_claim;
+    }
+  }
+  // The arrivals count is a header too: stamp hostile values over it (it
+  // sits right after the two share sections in an honest frame).
+  const size_t arrivals_offset = 28 + 2 * (3 * kSrcWidth) * 4;
+  for (uint64_t count : kHostileDims) {
+    std::vector<uint8_t> mutated = frame;
+    PutU64(&mutated, arrivals_offset, count);
+    const Result<UploadFrame> parsed = DecodeUploadFrame(mutated);
+    if (parsed.ok()) {
+      EXPECT_EQ(parsed->arrivals.size(), count);
+    }
+  }
+}
+
+TEST(UploadFrameFuzzTest, ZeroRowAstronomicWidthDoesNotAllocate) {
+  // words = width * 0 = 0 sails through every payload-fit check, so a
+  // 36-byte frame claiming width = 2^62 must not translate into width-sized
+  // scratch allocations (it used to allocate two 2^62-word vectors). The
+  // frame itself is internally consistent — zero rows, zero payload — so it
+  // parses; the engine's own width check rejects it after decode.
+  std::vector<uint8_t> bytes(36, 0);  // owner_step = rows = num_arrivals = 0
+  bytes[0] = 'I';
+  bytes[1] = 'U';
+  bytes[2] = 'F';
+  bytes[3] = 1;
+  PutU64(&bytes, 12, 1ull << 62);  // width
+  const Result<UploadFrame> parsed = DecodeUploadFrame(bytes);
+  ASSERT_TRUE(parsed.ok());
+  EXPECT_EQ(parsed->batch.size(), 0u);
+
+  // Same shape through CombineShareBlobs: zero-row blobs claiming huge
+  // widths combine without width-sized allocations.
+  std::vector<uint8_t> blob(20, 0);
+  blob[0] = 'I';
+  blob[1] = 'S';
+  blob[2] = 'R';
+  blob[3] = '1';
+  PutU64(&blob, 4, 1ull << 62);  // width, rows = 0, empty payload
+  const Result<SharedRows> combined = CombineShareBlobs(blob, blob);
+  ASSERT_TRUE(combined.ok());
+  EXPECT_EQ(combined->size(), 0u);
+}
+
+TEST(UploadFrameFuzzTest, RandomGarbageAndMultiMutationNeverCrash) {
+  Rng rng(60606);
+  const std::vector<uint8_t> frame = SampleFrameBytes(6, &rng);
+  for (int iter = 0; iter < 2000; ++iter) {
+    std::vector<uint8_t> mutated;
+    if (rng.Uniform(2) == 0) {
+      // Pure garbage of random length.
+      mutated.resize(rng.Uniform(512));
+      for (uint8_t& byte : mutated) byte = static_cast<uint8_t>(rng.Next32());
+    } else {
+      // Valid frame, then a random pipeline of truncation + flips + header
+      // stamps, in random order.
+      mutated = frame;
+      const size_t ops = 1 + rng.Uniform(3);
+      for (size_t op = 0; op < ops && !mutated.empty(); ++op) {
+        switch (rng.Uniform(3)) {
+          case 0:
+            mutated.resize(rng.Uniform(mutated.size() + 1));
+            break;
+          case 1:
+            mutated[rng.Uniform(mutated.size())] ^=
+                static_cast<uint8_t>(1u << rng.Uniform(8));
+            break;
+          default:
+            if (mutated.size() >= 28) {
+              PutU64(&mutated, 12 + 8 * rng.Uniform(2),
+                     kHostileDims[rng.Uniform(12)]);
+            }
+            break;
+        }
+      }
+    }
+    const Result<UploadFrame> parsed = DecodeUploadFrame(mutated);
+    if (parsed.ok()) {
+      EXPECT_EQ(parsed->batch.width(), kSrcWidth);
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// FrameAssembler (the envelope decoder in front of DecodeUploadFrame)
+// ---------------------------------------------------------------------------
+
+TEST(FrameAssemblerFuzzTest, MutatedStreamsInRandomChunksNeverCrash) {
+  Rng rng(808);
+  for (int iter = 0; iter < 800; ++iter) {
+    // An honest stream of hello + a few frames...
+    std::vector<uint8_t> stream = EncodeHello(static_cast<uint32_t>(
+        rng.Uniform(4)));
+    const size_t frames = 1 + rng.Uniform(3);
+    for (size_t i = 0; i < frames; ++i) {
+      AppendEnvelope(&stream, i + 1, SampleFrameBytes(rng.Uniform(3), &rng));
+    }
+    // ... mutated: flips and/or truncation.
+    if (rng.Uniform(4) != 0) {
+      const size_t flips = 1 + rng.Uniform(4);
+      for (size_t f = 0; f < flips; ++f) {
+        stream[rng.Uniform(stream.size())] ^=
+            static_cast<uint8_t>(1u << rng.Uniform(8));
+      }
+    }
+    if (rng.Uniform(3) == 0) {
+      stream.resize(rng.Uniform(stream.size() + 1));
+    }
+    // Fed in random-sized chunks, drained after every feed: the assembler
+    // must always either produce frames or poison — and once poisoned stay
+    // poisoned — regardless of chunk boundaries.
+    FrameAssembler assembler(1 << 20);
+    uint32_t channel_id = 0;
+    bool hello_done = false;
+    bool poisoned = false;
+    size_t fed = 0;
+    while (fed < stream.size()) {
+      const size_t chunk = 1 + rng.Uniform(64);
+      const size_t n = chunk < stream.size() - fed ? chunk
+                                                   : stream.size() - fed;
+      assembler.Feed(stream.data() + fed, n);
+      fed += n;
+      if (!hello_done) {
+        const Result<bool> hello = assembler.TakeHello(&channel_id);
+        if (!hello.ok()) {
+          poisoned = true;
+          break;
+        }
+        hello_done = *hello;
+        if (!hello_done) continue;
+      }
+      for (;;) {
+        WireFrame frame;
+        const Result<bool> got = assembler.TakeFrame(&frame);
+        if (!got.ok()) {
+          poisoned = true;
+          break;
+        }
+        if (!*got) break;
+        // Every extracted frame respects the envelope invariants.
+        EXPECT_GT(frame.payload.size(), 0u);
+        EXPECT_LE(frame.payload.size(), 1u << 20);
+        EXPECT_EQ(frame.seq, assembler.last_seq());
+      }
+      if (poisoned) break;
+    }
+    if (poisoned) {
+      // Poison is sticky through further feeds.
+      const uint8_t more = 0xAB;
+      assembler.Feed(&more, 1);
+      WireFrame frame;
+      EXPECT_FALSE(assembler.TakeFrame(&frame).ok());
+      EXPECT_TRUE(assembler.poisoned());
+    }
+  }
+}
+
+}  // namespace
+}  // namespace incshrink

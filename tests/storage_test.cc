@@ -156,6 +156,79 @@ TEST(MaterializedViewTest, AppendAndSize) {
 
 
 // ---------------------------------------------------------------------------
+// Share-blob serialization hardening
+// ---------------------------------------------------------------------------
+
+// Builds the 20-byte ISR1 header claiming the given dimensions, with
+// `payload_words` actual u32 words behind it.
+std::vector<uint8_t> HostileBlobHeader(uint64_t width, uint64_t rows,
+                                       size_t payload_words) {
+  std::vector<uint8_t> bytes = {'I', 'S', 'R', '1'};
+  for (int i = 0; i < 8; ++i) bytes.push_back((width >> (8 * i)) & 0xFF);
+  for (int i = 0; i < 8; ++i) bytes.push_back((rows >> (8 * i)) & 0xFF);
+  bytes.resize(bytes.size() + payload_words * 4, 0xAB);
+  return bytes;
+}
+
+TEST(ShareBlobTest, OverflowingDimensionHeadersRejected) {
+  // Regression: width = rows = 2^32 wraps width*rows to 0, so the hostile
+  // 20-byte header used to pass the exact-size check and come back as a
+  // blob claiming 2^64 dimensions with zero words.
+  const uint64_t two32 = 1ull << 32;
+  EXPECT_FALSE(ParseShareBlob(HostileBlobHeader(two32, two32, 0)).ok());
+  // Regression: width = 1, rows = 2^62 wraps the expected byte count
+  // (20 + 2^62*4) back to 20, again matching the bare header exactly.
+  EXPECT_FALSE(ParseShareBlob(HostileBlobHeader(1, 1ull << 62, 0)).ok());
+  // Zero width must not smuggle a nonzero row count through words == 0.
+  EXPECT_FALSE(ParseShareBlob(HostileBlobHeader(0, 1ull << 62, 0)).ok());
+  // Other wrap points around the u64 boundary.
+  EXPECT_FALSE(ParseShareBlob(HostileBlobHeader(1ull << 33, 1ull << 31, 2)).ok());
+  EXPECT_FALSE(ParseShareBlob(HostileBlobHeader(UINT64_MAX, UINT64_MAX, 1)).ok());
+  // Honest dimensions still parse.
+  const Result<ShareBlob> ok = ParseShareBlob(HostileBlobHeader(2, 3, 6));
+  ASSERT_TRUE(ok.ok());
+  EXPECT_EQ(ok->width, 2u);
+  EXPECT_EQ(ok->rows, 3u);
+  EXPECT_EQ(ok->words.size(), 6u);
+}
+
+TEST(ShareBlobTest, CombineOnHostileBlobsReturnsStatusNeverCrashes) {
+  // CombineShareBlobs indexes words[r*width + c] for r < rows: a blob that
+  // claimed huge dimensions with an empty words array would read (far) out
+  // of bounds. Every hostile pairing must surface as a Status.
+  Rng rng(17);
+  SharedRows honest(3);
+  std::vector<Word> row(3);
+  for (int i = 0; i < 4; ++i) {
+    for (Word& w : row) w = rng.Next32();
+    honest.AppendSecretRow(row, &rng);
+  }
+  const std::vector<uint8_t> good0 = SerializeShares(honest, 0);
+  const std::vector<uint8_t> good1 = SerializeShares(honest, 1);
+  ASSERT_TRUE(CombineShareBlobs(good0, good1).ok());
+  const std::vector<std::vector<uint8_t>> hostile = {
+      HostileBlobHeader(1ull << 32, 1ull << 32, 0),
+      HostileBlobHeader(1, 1ull << 62, 0),
+      HostileBlobHeader(0, 5, 0),
+  };
+  for (const std::vector<uint8_t>& bad : hostile) {
+    EXPECT_FALSE(CombineShareBlobs(bad, bad).ok());
+    EXPECT_FALSE(CombineShareBlobs(good0, bad).ok());
+    EXPECT_FALSE(CombineShareBlobs(bad, good1).ok());
+  }
+}
+
+TEST(ShareBlobDeathTest, SerializeSharesRejectsUnknownServer) {
+  Rng rng(5);
+  SharedRows rows(2);
+  rows.AppendSecretRow({1, 2}, &rng);
+  // Any server other than 0/1 used to silently alias server 1's shares;
+  // now it is a loud programming-error abort.
+  EXPECT_DEATH(SerializeShares(rows, 2), "server");
+  EXPECT_DEATH(SerializeShares(rows, -1), "server");
+}
+
+// ---------------------------------------------------------------------------
 // Upload-frame wire format (transport serialization)
 // ---------------------------------------------------------------------------
 

@@ -92,6 +92,39 @@ if [ -d src/net ]; then
   fi
 fi
 
+# Wall-clock hygiene (socket-transport satellite): the transport layer must
+# also never *read a clock* — arrival timing must not be able to steer what
+# any deployment computes. The single sanctioned exception is the integer
+# millisecond timeout handed to poll(2)/epoll_wait(2), which bounds a
+# blocking wait and feeds nothing back into behavior; every such line must
+# carry a `net-timeout-ok` marker so the exception stays enumerable.
+if [ -d src/net ]; then
+  CLOCK_PATTERNS=(
+    'std::chrono'
+    '::now\s*\('
+    '\btime\s*\(\s*(NULL|nullptr|0|&)'
+    'clock_gettime'
+    'gettimeofday'
+    'sleep_for'
+    'sleep_until'
+    '\busleep\s*\('
+    '\bnanosleep\s*\('
+  )
+  for pattern in "${CLOCK_PATTERNS[@]}"; do
+    hits=$(grep -rnE "$pattern" src/net 2>/dev/null | grep -v 'net-timeout-ok')
+    if [ -n "$hits" ]; then
+      echo "FORBIDDEN wall-clock access in the transport layer (pattern: $pattern):"
+      echo "$hits"
+      fail=1
+    fi
+  done
+  if [ "$fail" -ne 0 ]; then
+    echo
+    echo "src/net must stay clock-free; a poll/epoll_wait timeout bound is the"
+    echo "only exception and its line must be marked // net-timeout-ok."
+  fi
+fi
+
 if [ "$fail" -ne 0 ]; then
   exit 1
 fi
