@@ -83,6 +83,9 @@ SharedRows MultiLevelPipeline::ViewRowsToSourceRows(const SharedRows& rows) {
   SharedRows out(kSrcWidth);
   for (size_t r = 0; r < rows.size(); ++r) {
     const std::vector<Word> view = rows.RecoverRow(r);
+    // oblivious-ok: ideal-functionality rewiring — per-row copy/mux circuit
+    // charged above; exactly one fresh-shared source row is emitted per view
+    // row, real or dummy
     if (view[kViewIsViewCol] & 1) {
       std::vector<Word> src(kSrcWidth);
       src[kSrcValidCol] = 1;

@@ -72,6 +72,8 @@ ShrinkResult ShrinkTimer::Commit(const ShrinkPlan& plan, SecureCache* cache,
 ShrinkResult ShrinkTimer::Step(uint64_t t, SecureCache* cache,
                                MaterializedView* view) {
   ShrinkPlan plan = Plan(t, cache);
+  // oblivious-ok: timer fire decision is a public function of the step
+  // counter and timer_T (Alg. 2 line 2) — never of cache contents
   if (!plan.fired) return plan.early;
   ObliviousSort(proto_, cache->rows(), kViewSortKeyCol, /*ascending=*/false);
   return Commit(plan, cache, view);
@@ -113,6 +115,10 @@ ShrinkPlan ShrinkAnt::Plan(uint64_t t, SecureCache* cache) {
       static_cast<double>(c) +
       proto_->JointLaplace(4.0 * config_.budget_b / eps1_);
   proto_->AccountAndGates(kWordBits);  // in-circuit threshold comparison
+  // oblivious-ok: above-noisy-threshold test (Alg. 3 lines 5-7) — both
+  // operands carry fresh Laplace noise, so the comparison outcome is the
+  // eps1-budgeted DP release the SVT analysis pays for; publishing the
+  // fire/no-fire bit is the mechanism's sanctioned output
   if (c_noisy < theta) {
     plan.early.simulated_seconds =
         proto_->SimulatedSecondsSince(plan.before);
@@ -153,6 +159,8 @@ ShrinkResult ShrinkAnt::Commit(const ShrinkPlan& plan, SecureCache* cache,
 ShrinkResult ShrinkAnt::Step(uint64_t t, SecureCache* cache,
                              MaterializedView* view) {
   ShrinkPlan plan = Plan(t, cache);
+  // oblivious-ok: ANT fire decision is the DP-released SVT outcome (see the
+  // noisy-threshold comparison in Plan) — public by the eps1 budget charge
   if (!plan.fired) return plan.early;
   ObliviousSort(proto_, cache->rows(), kViewSortKeyCol, /*ascending=*/false);
   return Commit(plan, cache, view);

@@ -51,6 +51,9 @@ Status TransformProtocol::ChargeBatch(const SharedRows& batch,
   proto_->AccountAndGates(batch.size() * 2 * kWordBits);  // budget check+dec
   for (size_t r = 0; r < batch.size(); ++r) {
     const std::vector<Word> row = batch.RecoverRow(r);
+    // oblivious-ok: ideal-functionality budget charge — the check+decrement
+    // circuit is charged for every row above; the ledger models in-circuit
+    // per-record budget state and is only released through the DP path
     if (!(row[kSrcValidCol] & 1)) continue;
     INCSHRINK_RETURN_NOT_OK(
         accountant_->ChargeParticipation(row[kSrcRidCol]));
@@ -100,8 +103,12 @@ Result<TransformProtocol::StepResult> TransformProtocol::StepFilterImpl(
                       row[kSrcPayloadCol] >= config_.filter.lo &&
                       row[kSrcPayloadCol] <= config_.filter.hi;
     std::vector<Word> view(kViewWidth);
+    // oblivious-ok: ideal-functionality select — per-row predicate + rewiring
+    // mux cost charged above the loop; one fresh-shared view row is appended
+    // per input row whether it matches or not
     view[kViewIsViewCol] = keep ? 1 : 0;
     view[kViewSortKeyCol] = MakeCacheSortKey(keep, (*seq)++);
+    // oblivious-ok: same site — payload source selection for the view row
     if (keep) {
       view[kViewKeyCol] = row[kSrcKeyCol];
       view[kViewDate1Col] = row[kSrcDateCol];
@@ -205,7 +212,7 @@ Result<TransformProtocol::StepResult> TransformProtocol::StepJoin(
                                           seq, &usage, sort_exec_);
     real_entries += a.real_count;
     padded.AppendAll(a.rows);
-    if (old1.size() > 0 && new2.size() > 0) {
+    if (!old1.empty() && !new2.empty()) {
       JoinResult b = TruncatedSortMergeJoin(proto_, old1, new2, spec,
                                             seq, &usage, sort_exec_);
       real_entries += b.real_count;
@@ -232,6 +239,10 @@ Result<TransformProtocol::StepResult> TransformProtocol::StepJoin(
     };
     auto harvest_usage = [&](const SharedRows& table, bool capped) {
       if (!capped) return;
+      // oblivious-ok-begin: ideal-functionality budget read-back — mirrors
+      // the in-circuit budget columns the nested-loop join maintained into
+      // the (secret-state) usage map; the join already charged the full
+      // per-pair decrement circuit, and nothing here is released
       for (size_t r = 0; r < table.size(); ++r) {
         const std::vector<Word> row = table.RecoverRow(r);
         if (!(row[kSrcValidCol] & 1)) continue;
@@ -244,6 +255,7 @@ Result<TransformProtocol::StepResult> TransformProtocol::StepJoin(
                 : spec.omega;
         usage[row[kSrcRidCol]] += initial - remaining;
       }
+      // oblivious-ok-end
     };
     {
       SharedRows outer = with_budget(new1, spec.cap_t1);
@@ -256,7 +268,7 @@ Result<TransformProtocol::StepResult> TransformProtocol::StepJoin(
       harvest_usage(outer, spec.cap_t1);
       harvest_usage(inner, spec.cap_t2);
     }
-    if (old1.size() > 0 && new2.size() > 0) {
+    if (!old1.empty() && !new2.empty()) {
       SharedRows outer = with_budget(old1, spec.cap_t1);
       SharedRows inner = with_budget(new2, spec.cap_t2);
       JoinResult b = TruncatedNestedLoopJoin(proto_, &outer, &inner,

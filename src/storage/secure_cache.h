@@ -22,6 +22,7 @@ class SecureCache {
   SharedRows* rows() { return &rows_; }
   const SharedRows& rows() const { return rows_; }
   size_t size() const { return rows_.size(); }
+  bool empty() const { return rows_.empty(); }
 
   /// Appends Transform output (sigma <- sigma || DeltaV, Alg. 1 line 7).
   void Append(const SharedRows& delta) { rows_.AppendAll(delta); }

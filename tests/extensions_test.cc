@@ -189,7 +189,7 @@ TEST(UploadPolicyTest, DpAntFiresOnBacklog) {
   uint64_t uploads = 0;
   for (uint64_t t = 1; t <= 300; ++t) {
     const SharedRows batch = up.BuildBatch(t, Arrivals(t, 2, &rid), &rng);
-    if (batch.size() > 0) ++uploads;
+    if (!batch.empty()) ++uploads;
   }
   // ~2 records/step against theta 10: roughly every 5 steps.
   EXPECT_NEAR(static_cast<double>(uploads), 60.0, 30.0);

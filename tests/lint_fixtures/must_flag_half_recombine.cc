@@ -1,0 +1,26 @@
+// Lint self-test fixture: combining BOTH shares of one word recovers the
+// secret; a single share is uniform noise and stays public.
+// Not compiled — analyzed by tools/lint/oblivious_lint.py --selftest.
+// expect-findings: 2
+#include "src/mpc/protocol.h"
+
+namespace incshrink {
+
+void HalfShares(const SharedRows& rows, WordShares x) {
+  const Word k = rows.share0_at(0, 0) ^ rows.share1_at(0, 0);
+  if (k != 0) {  // FINDING: both halves recombined -> secret
+    return;
+  }
+  if (x.s0 ^ x.s1) {  // FINDING: field-level recombination
+    return;
+  }
+  const Word h = rows.share0_at(0, 0);
+  if (h != 0) {  // single share: uniform noise, clean
+    return;
+  }
+  if (x.s1 == 7) {  // single share field: clean
+    return;
+  }
+}
+
+}  // namespace incshrink

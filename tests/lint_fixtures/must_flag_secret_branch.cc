@@ -1,0 +1,24 @@
+// Lint self-test fixture: secret-dependent control flow MUST be flagged.
+// Not compiled — analyzed by tools/lint/oblivious_lint.py --selftest.
+// expect-findings: 4
+#include "src/mpc/protocol.h"
+
+namespace incshrink {
+
+void LeakyBranches(Protocol2PC* proto, const SharedRows& rows, WordShares x) {
+  const Word v = RecoverWord(x);  // recovered secret plaintext
+  if (v > 16) {  // FINDING: if condition on secret
+    proto->AccountRounds(1);
+  }
+  while (v != 0) {  // FINDING: while condition on secret
+    break;
+  }
+  for (size_t i = 0; i < v; ++i) {  // FINDING: loop bound on secret
+    proto->AccountRounds(1);
+  }
+  const int cls = v > 100 ? 1 : 0;  // FINDING: ternary condition on secret
+  (void)cls;
+  (void)rows;
+}
+
+}  // namespace incshrink

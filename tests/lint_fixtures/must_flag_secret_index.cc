@@ -1,0 +1,20 @@
+// Lint self-test fixture: secret-derived memory indices MUST be flagged.
+// Not compiled — analyzed by tools/lint/oblivious_lint.py --selftest.
+// expect-findings: 2
+#include <vector>
+
+#include "src/mpc/protocol.h"
+
+namespace incshrink {
+
+Word LeakyIndex(Protocol2PC* proto, const SharedRows& rows,
+                const std::vector<Word>& table, WordShares idx) {
+  const Word i = proto->RecoverInside(idx);
+  Word out = table[i];  // FINDING: array subscript on secret index
+  const std::vector<Word> row = rows.RecoverRow(0);
+  out ^= table[row[2]];  // FINDING: subscript on recovered row value
+  out ^= table[rows.size() - 1];  // public metadata index: clean
+  return out;
+}
+
+}  // namespace incshrink

@@ -1,0 +1,19 @@
+// Lint self-test fixture: secret-sized allocations MUST be flagged.
+// Not compiled — analyzed by tools/lint/oblivious_lint.py --selftest.
+// expect-findings: 3
+#include <vector>
+
+#include "src/mpc/protocol.h"
+
+namespace incshrink {
+
+void LeakyAlloc(Protocol2PC* proto, SharedRows* cache, WordShares n) {
+  const Word sz = proto->RecoverInside(n);
+  std::vector<Word> buf;
+  buf.resize(sz);           // FINDING: allocation size from secret
+  buf.reserve(sz * 2);      // FINDING: reservation size from secret
+  cache->Truncate(sz);      // FINDING: public row count changed by secret
+  buf.resize(cache->size());  // public metadata: clean
+}
+
+}  // namespace incshrink

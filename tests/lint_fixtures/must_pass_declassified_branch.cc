@@ -1,0 +1,29 @@
+// Lint self-test fixture: branches on DECLASSIFIED values are clean — a
+// deliberate Reveal, the DP release clamp, and public container metadata
+// are the sanctioned laundering points.
+// Not compiled — analyzed by tools/lint/oblivious_lint.py --selftest.
+// expect-findings: 0
+#include "src/dp/laplace.h"
+#include "src/mpc/protocol.h"
+
+namespace incshrink {
+
+void DeclassifiedBranches(Protocol2PC* proto, const SharedRows& rows,
+                          WordShares count) {
+  const Word opened = proto->Reveal(count);  // sanctioned opening
+  if (opened > 4) {  // clean: declassified by Reveal
+    proto->AccountRounds(1);
+  }
+  const uint32_t released =
+      ClampRoundNonNegative(static_cast<double>(proto->Reveal(count)) + 0.5);
+  for (uint32_t i = 0; i < released; ++i) {  // clean: DP-released size
+    proto->AccountRounds(1);
+  }
+  if (rows.size() > 8 && rows.width() == 7) {  // clean: public metadata
+    proto->AccountRounds(1);
+  }
+  const bool big = rows.TotalBytes() > 1024 ? true : false;  // clean
+  (void)big;
+}
+
+}  // namespace incshrink

@@ -1,0 +1,26 @@
+// Lint self-test fixture: `oblivious-ok` markers suppress (and count) both
+// line-level and region-level findings.
+// Not compiled — analyzed by tools/lint/oblivious_lint.py --selftest.
+// expect-findings: 0
+// expect-suppressed: 3
+#include "src/mpc/protocol.h"
+
+namespace incshrink {
+
+void SuppressedSites(Protocol2PC* proto, WordShares x) {
+  const Word v = RecoverWord(x);
+  // oblivious-ok: fixture — standalone marker covers the next code line
+  if (v > 1) {
+    proto->AccountRounds(1);
+  }
+  if (v > 2) {  // oblivious-ok: fixture — same-line marker
+    proto->AccountRounds(1);
+  }
+  // oblivious-ok-begin: fixture — region marker for scan-kernel idiom
+  while (v != 0) {
+    break;
+  }
+  // oblivious-ok-end
+}
+
+}  // namespace incshrink

@@ -123,7 +123,7 @@ TEST_P(CacheConservationTest, ReadsConserveRealRows) {
 
   // Repeated random-size reads never create or destroy real rows.
   uint32_t fetched_real = 0;
-  while (cache.size() > 0) {
+  while (!cache.empty()) {
     const size_t read = 1 + rng.Uniform(30);
     SharedRows out = ObliviousCacheRead(&proto, &cache, read);
     fetched_real += CountRealInside(&proto, out);

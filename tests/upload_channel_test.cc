@@ -185,7 +185,7 @@ TEST(OwnerClientTest, EveryOwnerStepEmitsExactlyOneFrame) {
   while (ch.TryPop(&raw)) {
     const Result<UploadFrame> frame = DecodeUploadFrame(raw);
     ASSERT_TRUE(frame.ok());
-    if (frame->batch.size() == 0) ++zero_row_frames;
+    if (frame->batch.empty()) ++zero_row_frames;
     EXPECT_EQ(frame->arrivals.size(), 1u);  // truth rides every frame
   }
   EXPECT_EQ(zero_row_frames, 6);  // uploads fire at t = 3, 6, 9 only

@@ -4,9 +4,15 @@
 # from the seedable incshrink::Rng so that identical seeds reproduce
 # identical transcripts bit for bit. This script fails if any other entropy
 # source appears in committed sources.
+#
+# Output format: every diagnostic line carries the `entropy-lint:` prefix so
+# tools/lint/run_lints.sh can interleave it with the oblivious linter in one
+# unified report.
 set -u
 
 cd "$(dirname "$0")/.."
+
+say() { echo "entropy-lint: $*"; }
 
 # Forbidden constructs and where they usually sneak in. `mt19937` and
 # `uniform_*_distribution` are banned too: libstdc++ gives no cross-platform
@@ -16,6 +22,7 @@ PATTERNS=(
   'std::random_device'
   'random_device'
   '\bsrand\s*\('
+  '\bsrandom\s*\('
   '\brand\s*\(\s*\)'
   'mt19937'
   'minstd_rand'
@@ -28,6 +35,7 @@ PATTERNS=(
   'high_resolution_clock'
   'steady_clock::now.*seed'
   'getrandom'
+  'getentropy'
   '/dev/urandom'
 )
 
@@ -35,7 +43,7 @@ fail=0
 for pattern in "${PATTERNS[@]}"; do
   hits=$(grep -rnE "$pattern" src tests bench examples 2>/dev/null)
   if [ -n "$hits" ]; then
-    echo "FORBIDDEN entropy source (pattern: $pattern):"
+    say "FORBIDDEN entropy source (pattern: $pattern):"
     echo "$hits"
     fail=1
   fi
@@ -43,7 +51,33 @@ done
 
 if [ "$fail" -ne 0 ]; then
   echo
-  echo "Use incshrink::Rng (src/common/rng.h) with an explicit seed instead."
+  say "Use incshrink::Rng (src/common/rng.h) with an explicit seed instead."
+  exit 1
+fi
+
+# Shuffle hygiene: std::random_shuffle (removed in C++17, URNG unspecified)
+# is banned everywhere; std::shuffle is only meaningful when driven by the
+# seedable Rng, so it is confined to common/rng — if a shuffle is ever
+# needed, implement it there on top of the seeded stream, not inline.
+SHUFFLE_PATTERNS=(
+  'std::random_shuffle'
+  '\brandom_shuffle\s*\('
+  'std::shuffle'
+)
+
+for pattern in "${SHUFFLE_PATTERNS[@]}"; do
+  hits=$(grep -rnE "$pattern" src tests bench examples 2>/dev/null \
+         | grep -v 'src/common/rng\.\(h\|cc\)')
+  if [ -n "$hits" ]; then
+    say "FORBIDDEN shuffle outside common/rng (pattern: $pattern):"
+    echo "$hits"
+    fail=1
+  fi
+done
+
+if [ "$fail" -ne 0 ]; then
+  echo
+  say "Shuffles must go through the seedable helpers in src/common/rng.h."
   exit 1
 fi
 
@@ -65,7 +99,7 @@ for pattern in "${CONCURRENCY_PATTERNS[@]}"; do
   hits=$(grep -rnE "$pattern" src tests bench examples 2>/dev/null \
          | grep -v 'src/common/thread_pool\.\(h\|cc\)')
   if [ -n "$hits" ]; then
-    echo "FORBIDDEN concurrency construct outside ThreadPool (pattern: $pattern):"
+    say "FORBIDDEN concurrency construct outside ThreadPool (pattern: $pattern):"
     echo "$hits"
     fail=1
   fi
@@ -73,8 +107,8 @@ done
 
 if [ "$fail" -ne 0 ]; then
   echo
-  echo "Route worker-count decisions through incshrink::ThreadPool /"
-  echo "ResolveThreadCount (src/common/thread_pool.h) instead."
+  say "Route worker-count decisions through incshrink::ThreadPool /"
+  say "ResolveThreadCount (src/common/thread_pool.h) instead."
   exit 1
 fi
 
@@ -86,7 +120,7 @@ fi
 if [ -d src/net ]; then
   hits=$(grep -rnE '\bRng\b|\brng\b|rng\.|rng->|\bseed\b|Laplace|Uniform\(|Next32|Next64' src/net 2>/dev/null)
   if [ -n "$hits" ]; then
-    echo "FORBIDDEN randomness in the transport layer (src/net must be entropy-free):"
+    say "FORBIDDEN randomness in the transport layer (src/net must be entropy-free):"
     echo "$hits"
     fail=1
   fi
@@ -113,15 +147,15 @@ if [ -d src/net ]; then
   for pattern in "${CLOCK_PATTERNS[@]}"; do
     hits=$(grep -rnE "$pattern" src/net 2>/dev/null | grep -v 'net-timeout-ok')
     if [ -n "$hits" ]; then
-      echo "FORBIDDEN wall-clock access in the transport layer (pattern: $pattern):"
+      say "FORBIDDEN wall-clock access in the transport layer (pattern: $pattern):"
       echo "$hits"
       fail=1
     fi
   done
   if [ "$fail" -ne 0 ]; then
     echo
-    echo "src/net must stay clock-free; a poll/epoll_wait timeout bound is the"
-    echo "only exception and its line must be marked // net-timeout-ok."
+    say "src/net must stay clock-free; a poll/epoll_wait timeout bound is the"
+    say "only exception and its line must be marked // net-timeout-ok."
   fi
 fi
 
@@ -141,11 +175,11 @@ if [ -f "$SHARDED_CACHE" ]; then
   hits=$(grep -nE '(make_unique<Party>|\bParty\s*\(|\bRng\s*\()' "$SHARDED_CACHE" \
          | grep -v 'derived_seed')
   if [ -n "$hits" ]; then
-    echo "FORBIDDEN shard-local randomness not derived via DeriveShardSeed:"
+    say "FORBIDDEN shard-local randomness not derived via DeriveShardSeed:"
     echo "$hits"
     echo
-    echo "Seed shard parties/Rngs from DeriveShardSeed(engine_seed, shard)"
-    echo "(src/storage/sharded_cache.h) only."
+    say "Seed shard parties/Rngs from DeriveShardSeed(engine_seed, shard)"
+    say "(src/storage/sharded_cache.h) only."
     exit 1
   fi
 fi
@@ -163,12 +197,12 @@ if [ -f "$BATCH_SCHEDULER" ]; then
   hits=$(grep -nE '\bRng\s*\(|Next32|Next64|internal_rng|ShareWord|Laplace' \
          "$BATCH_SCHEDULER")
   if [ -n "$hits" ]; then
-    echo "FORBIDDEN direct randomness in the batch scheduler:"
+    say "FORBIDDEN direct randomness in the batch scheduler:"
     echo "$hits"
     echo
-    echo "Batched kernels must draw only via Protocol2PC::DrawReshareMasks"
-    echo "or the inline *Site kernels (src/mpc/protocol.h)."
+    say "Batched kernels must draw only via Protocol2PC::DrawReshareMasks"
+    say "or the inline *Site kernels (src/mpc/protocol.h)."
     exit 1
   fi
 fi
-echo "OK: no hidden entropy sources found."
+say "OK: no hidden entropy sources found."
