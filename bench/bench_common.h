@@ -8,6 +8,7 @@
 #include <cstdlib>
 #include <cstring>
 #include <string>
+#include <vector>
 
 #include "src/core/engine.h"
 #include "src/core/owner_client.h"
@@ -34,6 +35,11 @@ struct Options {
   uint64_t storm_events = 0;
   /// bench_owner_storm: frames drained per channel per round.
   uint64_t drain_bound = 8;
+  /// When non-empty, benches that support it write a machine-readable JSON
+  /// artifact (gate counts, gates/sec, rows/sec, layer histograms) to this
+  /// path in addition to the human-readable stdout report, so CI can diff
+  /// perf numbers across runs without scraping text.
+  std::string json_path;
 };
 
 /// Strict CLI parsing: a flag with no value or an unrecognized flag is a
@@ -45,7 +51,10 @@ inline Options ParseOptions(int argc, char** argv) {
     const char* flag = argv[i];
     uint64_t* u64_field = nullptr;
     double* f64_field = nullptr;
-    if (std::strcmp(flag, "--steps-tpcds") == 0) {
+    std::string* str_field = nullptr;
+    if (std::strcmp(flag, "--json") == 0) {
+      str_field = &opt.json_path;
+    } else if (std::strcmp(flag, "--steps-tpcds") == 0) {
       u64_field = &opt.steps_tpcds;
     } else if (std::strcmp(flag, "--steps-cpdb") == 0) {
       u64_field = &opt.steps_cpdb;
@@ -70,6 +79,10 @@ inline Options ParseOptions(int argc, char** argv) {
       std::exit(2);
     }
     const char* value = argv[++i];
+    if (str_field != nullptr) {
+      *str_field = value;
+      continue;
+    }
     char* end = nullptr;
     if (u64_field != nullptr) {
       *u64_field = std::strtoull(value, &end, 10);
@@ -140,6 +153,55 @@ inline IncShrinkConfig WithShards(IncShrinkConfig cfg, uint32_t shards,
   cfg.cache_shard_threads = threads;
   return cfg;
 }
+
+/// Minimal flat-JSON emitter for the `--json` bench artifacts: one object
+/// of numeric/string/array-of-numbers fields, written atomically at the
+/// end. Deliberately tiny — bench artifacts are shallow by construction,
+/// and no JSON dependency is available in the image.
+class JsonWriter {
+ public:
+  void Add(const std::string& key, uint64_t v) {
+    Field(key) += std::to_string(v);
+  }
+  void Add(const std::string& key, double v) {
+    char buf[64];
+    std::snprintf(buf, sizeof(buf), "%.6g", v);
+    Field(key) += buf;
+  }
+  void Add(const std::string& key, const std::string& v) {
+    Field(key) += "\"" + v + "\"";
+  }
+  void Add(const std::string& key, const std::vector<uint64_t>& values) {
+    std::string& out = Field(key);
+    out += "[";
+    for (size_t i = 0; i < values.size(); ++i) {
+      if (i > 0) out += ", ";
+      out += std::to_string(values[i]);
+    }
+    out += "]";
+  }
+
+  /// Writes `{ ...fields... }` to `path`; exits hard on I/O failure so a
+  /// CI run never silently drops its artifact.
+  void WriteTo(const std::string& path) const {
+    std::FILE* f = std::fopen(path.c_str(), "w");
+    if (f == nullptr) {
+      std::fprintf(stderr, "error: cannot write JSON artifact '%s'\n",
+                   path.c_str());
+      std::exit(2);
+    }
+    std::fprintf(f, "{\n%s\n}\n", body_.c_str());
+    std::fclose(f);
+  }
+
+ private:
+  std::string& Field(const std::string& key) {
+    if (!body_.empty()) body_ += ",\n";
+    body_ += "  \"" + key + "\": ";
+    return body_;
+  }
+  std::string body_;
+};
 
 inline void PrintHeader(const char* title) {
   std::printf("==============================================================="

@@ -6,9 +6,13 @@
 
 #include <benchmark/benchmark.h>
 
+#include <chrono>
 #include <cinttypes>
 #include <cstdio>
+#include <cstring>
+#include <string>
 
+#include "bench/bench_common.h"
 #include "src/common/logging.h"
 #include "src/common/thread_pool.h"
 #include "src/mpc/party.h"
@@ -17,6 +21,7 @@
 #include "src/oblivious/filter.h"
 #include "src/oblivious/formats.h"
 #include "src/oblivious/join.h"
+#include "src/oblivious/shuffle.h"
 #include "src/oblivious/sort.h"
 #include "src/relational/encode.h"
 
@@ -312,13 +317,168 @@ void PrintLayerHistogram(size_t n) {
   }
 }
 
+// ---------------------------------------------------------------------------
+// Waksman permutation-network shuffles
+// ---------------------------------------------------------------------------
+
+/// Serial-vs-pooled bit-equality gate for the shuffle scheduler, mirroring
+/// CheckSortFingerprints: a silent divergence fails the bench run itself.
+void CheckShuffleFingerprints(size_t n, int threads) {
+  Rng rng(61 + n);
+  const SharedRows input = RandomViewRows(&rng, n);
+  Party a0(0, 71), a1(1, 72);
+  Protocol2PC serial(&a0, &a1, CostModel::EmpLikeLan());
+  const std::vector<uint32_t> perm = DrawPublicPermutation(&serial, n);
+  SharedRows s = input;
+  ObliviousShuffle(&serial, &s, perm);
+  Party b0(0, 71), b1(1, 72);
+  Protocol2PC batched(&b0, &b1, CostModel::EmpLikeLan());
+  const std::vector<uint32_t> perm_b = DrawPublicPermutation(&batched, n);
+  INCSHRINK_CHECK(perm == perm_b);
+  ThreadPool pool(threads);
+  SharedRows b = input;
+  ObliviousShuffle(&batched, &b, perm, BatchExec{&pool, 1});
+  INCSHRINK_CHECK_EQ(RowsFingerprint(s), RowsFingerprint(b));
+  INCSHRINK_CHECK_EQ(serial.Snapshot().and_gates,
+                     batched.Snapshot().and_gates);
+}
+
+void BM_ObliviousShuffle(benchmark::State& state) {
+  const size_t n = static_cast<size_t>(state.range(0));
+  const int threads = static_cast<int>(state.range(1));
+  CheckShuffleFingerprints(n, threads);
+  ThreadPool pool(threads);
+  const BatchExec exec{&pool, 128};
+  SortThroughputLoop(state, n,
+                     [&exec](Protocol2PC* proto, SharedRows* rows) {
+                       ObliviousRandomPermute(proto, rows, exec);
+                     });
+}
+BENCHMARK(BM_ObliviousShuffle)->ArgsProduct({{256, 1024, 4096}, {1, 2, 8}});
+
+void BM_ObliviousShuffleSort(benchmark::State& state) {
+  const size_t n = static_cast<size_t>(state.range(0));
+  SortThroughputLoop(state, n, [](Protocol2PC* proto, SharedRows* rows) {
+    ObliviousShuffleSort(proto, rows, kViewSortKeyCol, false);
+  });
+}
+BENCHMARK(BM_ObliviousShuffleSort)->Arg(256)->Arg(1024)->Arg(4096);
+
+void PrintShuffleLayerHistogram(size_t n) {
+  const std::vector<uint64_t> sizes = ShuffleNetworkLayerSizes(n);
+  uint64_t total = 0;
+  for (const uint64_t s : sizes) total += s;
+  std::printf("shuffle network n=%zu: %zu layers, %" PRIu64 " switches\n",
+              n, sizes.size(), total);
+}
+
+/// Head-to-head flush measurement at the acceptance size (n = 4096): the
+/// Batcher flush (sort + prefix) versus the Waksman flush (random shuffle
+/// + prefix). Prints the measured AND-gate counts and their ratio, checks
+/// the >= 1.8x acceptance bar, cross-checks the counts against the closed
+/// forms, and fingerprints both results so the comparison is a real
+/// end-to-end run, not arithmetic. When `json` is non-null the numbers
+/// land in the BENCH_shuffle artifact.
+void MeasureFlushGateRatio(incshrink::bench::JsonWriter* json) {
+  const size_t n = 4096;
+  const size_t flush_size = 15;
+  Rng rng(77);
+  const SharedRows input = RandomViewRows(&rng, n);
+
+  Party a0(0, 81), a1(1, 82);
+  Protocol2PC batcher(&a0, &a1, CostModel::EmpLikeLan());
+  SharedRows cache_b = input;
+  const auto t0 = std::chrono::steady_clock::now();
+  SharedRows fetched_b =
+      CacheFlush(&batcher, &cache_b, flush_size, SortAlgorithm::kBatcher);
+  const auto t1 = std::chrono::steady_clock::now();
+  const uint64_t batcher_gates = batcher.Snapshot().and_gates;
+
+  Party b0(0, 81), b1(1, 82);
+  Protocol2PC waksman(&b0, &b1, CostModel::EmpLikeLan());
+  SharedRows cache_w = input;
+  const auto t2 = std::chrono::steady_clock::now();
+  SharedRows fetched_w = CacheFlush(&waksman, &cache_w, flush_size,
+                                    SortAlgorithm::kShuffleSort);
+  const auto t3 = std::chrono::steady_clock::now();
+  const uint64_t waksman_gates = waksman.Snapshot().and_gates;
+
+  // Closed-form cross-check: the measured counts must equal the formulas
+  // the unit tests pin (comparison + mux per compare-exchange; mux per
+  // switch), or the measurement itself is wrong.
+  INCSHRINK_CHECK_EQ(batcher_gates,
+                     SortNetworkCompareExchanges(n) *
+                         (kWordBits + kViewWidth * kWordBits));
+  INCSHRINK_CHECK_EQ(waksman_gates,
+                     ShuffleNetworkSwitches(n) * kViewWidth * kWordBits);
+  INCSHRINK_CHECK_EQ(fetched_b.size(), flush_size);
+  INCSHRINK_CHECK_EQ(fetched_w.size(), flush_size);
+  const uint64_t fp_batcher = RowsFingerprint(fetched_b);
+  const uint64_t fp_waksman = RowsFingerprint(fetched_w);
+
+  const double ratio = static_cast<double>(batcher_gates) /
+                       static_cast<double>(waksman_gates);
+  const double waksman_secs =
+      std::chrono::duration<double>(t3 - t2).count();
+  const double batcher_secs =
+      std::chrono::duration<double>(t1 - t0).count();
+  std::printf("flush @ n=%zu width=%zu: batcher %" PRIu64
+              " AND gates, waksman %" PRIu64 " AND gates, ratio %.2fx\n",
+              n, kViewWidth, batcher_gates, waksman_gates, ratio);
+  std::printf("  fingerprints: batcher %016" PRIx64 ", waksman %016" PRIx64
+              "\n",
+              fp_batcher, fp_waksman);
+  // Acceptance bar for the shuffle tier: >= 1.8x fewer gates per flush.
+  INCSHRINK_CHECK(ratio >= 1.8);
+
+  if (json != nullptr) {
+    json->Add("bench", std::string("shuffle"));
+    json->Add("n", static_cast<uint64_t>(n));
+    json->Add("width", static_cast<uint64_t>(kViewWidth));
+    json->Add("batcher_flush_and_gates", batcher_gates);
+    json->Add("waksman_flush_and_gates", waksman_gates);
+    json->Add("gate_ratio", ratio);
+    json->Add("waksman_switches", ShuffleNetworkSwitches(n));
+    json->Add("waksman_depth", ShuffleNetworkDepth(n));
+    json->Add("shuffle_sort_comparison_sites", ShuffleSortComparisons(n));
+    json->Add("batcher_gates_per_s",
+              batcher_secs > 0 ? batcher_gates / batcher_secs : 0.0);
+    json->Add("waksman_gates_per_s",
+              waksman_secs > 0 ? waksman_gates / waksman_secs : 0.0);
+    json->Add("waksman_rows_per_s",
+              waksman_secs > 0 ? n / waksman_secs : 0.0);
+    json->Add("fingerprint_batcher_flush", fp_batcher);
+    json->Add("fingerprint_waksman_flush", fp_waksman);
+    json->Add("layer_histogram", ShuffleNetworkLayerSizes(n));
+  }
+}
+
 }  // namespace
 }  // namespace incshrink
 
 int main(int argc, char** argv) {
+  // Pre-parse and strip `--json <path>` before benchmark::Initialize —
+  // google-benchmark hard-rejects flags it does not recognize.
+  std::string json_path;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--json") == 0) {
+      if (i + 1 >= argc) {
+        std::fprintf(stderr, "error: flag '--json' is missing its value\n");
+        return 2;
+      }
+      json_path = argv[i + 1];
+      for (int j = i; j + 2 < argc; ++j) argv[j] = argv[j + 2];
+      argc -= 2;
+      break;
+    }
+  }
   for (const size_t n : {256u, 1024u, 4096u}) {
     incshrink::PrintLayerHistogram(n);
+    incshrink::PrintShuffleLayerHistogram(n);
   }
+  incshrink::bench::JsonWriter json;
+  incshrink::MeasureFlushGateRatio(json_path.empty() ? nullptr : &json);
+  if (!json_path.empty()) json.WriteTo(json_path);
   benchmark::Initialize(&argc, argv);
   if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
   benchmark::RunSpecifiedBenchmarks();

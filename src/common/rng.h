@@ -2,6 +2,7 @@
 
 #include <cstdint>
 #include <limits>
+#include <utility>
 
 namespace incshrink {
 
@@ -78,5 +79,22 @@ class Rng {
   bool have_cached_normal_ = false;
   double cached_normal_ = 0.0;
 };
+
+/// Fisher-Yates shuffle driven by the seeded stream. This is the one
+/// sanctioned plaintext shuffle: tools/check_no_hidden_entropy.sh bans
+/// std::shuffle/random_shuffle everywhere else so that every reordering in
+/// the repository is reproducible from an explicit seed. (The *oblivious*
+/// shuffle over secret-shared rows is a different animal — see
+/// src/oblivious/shuffle.h, which draws its permutation from the protocol's
+/// jointly seeded resharing stream instead.)
+template <typename RandomIt>
+void SeededShuffle(RandomIt first, RandomIt last, Rng* rng) {
+  const auto n = static_cast<uint64_t>(last - first);
+  for (uint64_t i = n; i > 1; --i) {
+    const uint64_t j = rng->Uniform(i);
+    using std::swap;
+    swap(first[i - 1], first[j]);
+  }
+}
 
 }  // namespace incshrink

@@ -49,6 +49,10 @@ Status IncShrinkConfig::Validate() const {
   if (oblivious_batch_min_layer == 0)
     return Status::InvalidArgument(
         "oblivious_batch_min_layer must be >= 1 (1 = always pool-split)");
+  if (sort_algorithm != SortAlgorithm::kBatcher &&
+      sort_algorithm != SortAlgorithm::kShuffleSort)
+    return Status::InvalidArgument(
+        "sort_algorithm must be batcher or shuffle_sort");
   for (const UploadPolicyConfig* policy :
        {&upload_policy1, &upload_policy2}) {
     if (policy->kind != UploadPolicyKind::kFixedSize &&

@@ -7,6 +7,7 @@
 #include "src/core/upload_policy.h"
 #include "src/mpc/cost_model.h"
 #include "src/oblivious/join.h"
+#include "src/oblivious/sort.h"
 
 namespace incshrink {
 
@@ -103,6 +104,16 @@ struct IncShrinkConfig {
   /// results are bit-identical at any value and any worker count (batched
   /// submissions pre-draw their resharing masks in scalar call order).
   uint32_t oblivious_batch_min_layer = 128;
+  /// Execution policy of the oblivious cache sorts (Shrink sync order and
+  /// the flush path). kBatcher — the reference odd-even merge network the
+  /// goldens are recorded on. kShuffleSort — the Waksman permutation-network
+  /// tier (src/oblivious/shuffle.h): sync sorts run ORQ-style
+  /// shuffle-then-sort (O(n log n) gates instead of O(n log^2 n)) and
+  /// flushes, which only need *some* secret permutation, drop the sort for
+  /// a single random Waksman shuffle. Opt-in: the shuffle tier re-randomizes
+  /// tie placement and flush selection, so released view contents differ
+  /// from the Batcher goldens (equally valid under the same DP guarantees).
+  SortAlgorithm sort_algorithm = SortAlgorithm::kBatcher;
 
   // --- owner update policy ---
   uint32_t upload_rows_t1 = 8;  ///< C_r for the T1 owner (fixed-size policy)

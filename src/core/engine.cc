@@ -9,6 +9,7 @@
 #include "src/oblivious/filter.h"
 #include "src/oblivious/formats.h"
 #include "src/oblivious/join.h"
+#include "src/oblivious/shuffle.h"
 #include "src/relational/encode.h"
 #include "src/storage/serialization.h"
 
@@ -260,7 +261,8 @@ Status Engine::BeginStepImpl() {
         if (p.plans[k].fired) {
           p.jobs.push_back(SortJob{cache_.shard_proto(k),
                                    cache_.shard(k).rows(), kViewSortKeyCol,
-                                   0, /*lex=*/false, /*ascending=*/false});
+                                   0, /*lex=*/false, /*ascending=*/false,
+                                   config_.sort_algorithm});
         }
       }
       break;
@@ -322,15 +324,31 @@ Status Engine::FinishStep() {
     std::vector<MaterializedView> staged_flush(num);
     if (FlushDue(config_, t_)) {
       std::vector<CircuitStats> before(num);
-      std::vector<SortJob> flush_jobs;
-      flush_jobs.reserve(num);
       for (size_t k = 0; k < num; ++k) {
         before[k] = cache_.shard_proto(k)->Snapshot();
-        flush_jobs.push_back(SortJob{cache_.shard_proto(k),
-                                     cache_.shard(k).rows(), kViewSortKeyCol,
-                                     0, /*lex=*/false, /*ascending=*/false});
       }
-      ObliviousSortBatch(flush_jobs.data(), flush_jobs.size(), batch_exec());
+      if (config_.sort_algorithm == SortAlgorithm::kShuffleSort) {
+        // Shuffle tier: flushes recycle the suffix anyway, so a fused
+        // random Waksman permute replaces the cross-shard flush sort.
+        std::vector<PermuteJob> permute_jobs;
+        permute_jobs.reserve(num);
+        for (size_t k = 0; k < num; ++k) {
+          permute_jobs.push_back(
+              PermuteJob{cache_.shard_proto(k), cache_.shard(k).rows()});
+        }
+        ObliviousRandomPermuteBatch(permute_jobs.data(), permute_jobs.size(),
+                                    batch_exec());
+      } else {
+        std::vector<SortJob> flush_jobs;
+        flush_jobs.reserve(num);
+        for (size_t k = 0; k < num; ++k) {
+          flush_jobs.push_back(
+              SortJob{cache_.shard_proto(k), cache_.shard(k).rows(),
+                      kViewSortKeyCol, 0, /*lex=*/false, /*ascending=*/false});
+        }
+        ObliviousSortBatch(flush_jobs.data(), flush_jobs.size(),
+                           batch_exec());
+      }
       ForEachShard([&](size_t k) {
         flushes[k] = CommitFlush(cache_.shard_proto(k), shard_configs_[k],
                                  &cache_.shard(k), &staged_flush[k],

@@ -260,18 +260,22 @@ void Protocol2PC::CompareExchangeRowsLexBatch(SharedRows* rows,
   });
 }
 
+void Protocol2PC::AccountMuxSwapBatch(uint64_t ops, size_t width) {
+  const uint64_t gates = ops * width * kWordBits;
+  AccountAndGates(gates);
+  if (batch_trace_enabled_) {
+    batch_trace_.push_back({BatchTraceEvent::Kind::kMuxSwap, ops,
+                            CircuitStats{gates, 0, 0, 0}});
+  }
+}
+
 void Protocol2PC::MuxRowsBatch(SharedRows* rows, const RowPair* pairs,
                                const WordShares* swap_bits, size_t count,
                                const BatchExec& exec) {
   if (count == 0) return;
   const size_t w = rows->width();
   const size_t mask_words = MuxSwapMaskWords(w);
-  const uint64_t gates = count * w * kWordBits;
-  AccountAndGates(gates);
-  if (batch_trace_enabled_) {
-    batch_trace_.push_back({BatchTraceEvent::Kind::kMuxSwap, count,
-                            CircuitStats{gates, 0, 0, 0}});
-  }
+  AccountMuxSwapBatch(count, w);
   if (exec.Serial(count)) {
     for (size_t p = 0; p < count; ++p) {
       const Word bit = RecoverInside(swap_bits[p]) & 1;

@@ -335,6 +335,15 @@ class Protocol2PC {
   /// sites over rows of `width` words and records one batch trace event.
   void AccountCompareExchangeBatch(uint64_t ops, size_t width, bool lex);
 
+  /// Charges the exact aggregate cost of `ops` fused mux-swap sites over
+  /// rows of `width` words and records one batch trace event. MuxRowsBatch
+  /// charges through this, and so does the permutation-network scheduler
+  /// (src/oblivious/shuffle.cc), whose switches are mux-swaps with publicly
+  /// programmed control bits: the conditional swap still runs the full
+  /// per-bit AND circuit — hiding *whether* each switch crossed is exactly
+  /// what keeps the realized permutation secret from the evaluator.
+  void AccountMuxSwapBatch(uint64_t ops, size_t width);
+
   /// Batched CompareExchangeRows over disjoint index pairs — bit-identical
   /// to calling the scalar op once per pair in order.
   void CompareExchangeRowsBatch(SharedRows* rows, const RowPair* pairs,

@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "src/common/logging.h"
+#include "src/oblivious/shuffle.h"
 
 namespace incshrink {
 
@@ -174,6 +175,36 @@ void SerialSortSingle(const SortJob& job) {
 void ObliviousSortBatch(SortJob* jobs, size_t num_jobs,
                         const BatchExec& exec) {
   if (num_jobs == 0) return;
+  // Policy dispatch: shuffle-then-sort jobs run through the permutation-
+  // network scheduler. The two groups run on disjoint protocol sets (jobs
+  // of a batch are on pairwise-distinct protocols), so executing them as
+  // two fused submissions is bit-identical per job to any mixed schedule.
+  bool any_shuffle = false;
+  for (size_t i = 0; i < num_jobs; ++i) {
+    any_shuffle =
+        any_shuffle || jobs[i].algorithm == SortAlgorithm::kShuffleSort;
+  }
+  if (any_shuffle) {
+    for (size_t i = 0; i < num_jobs; ++i) {
+      INCSHRINK_CHECK(jobs[i].proto != nullptr && jobs[i].rows != nullptr);
+      for (size_t j = i + 1; j < num_jobs; ++j) {
+        INCSHRINK_CHECK(jobs[i].proto != jobs[j].proto);
+      }
+    }
+    std::vector<SortJob> shuffle_group;
+    std::vector<SortJob> batcher_group;
+    for (size_t i = 0; i < num_jobs; ++i) {
+      (jobs[i].algorithm == SortAlgorithm::kShuffleSort ? shuffle_group
+                                                        : batcher_group)
+          .push_back(jobs[i]);
+    }
+    ObliviousShuffleSortBatch(shuffle_group.data(), shuffle_group.size(),
+                              exec);
+    if (!batcher_group.empty()) {
+      ObliviousSortBatch(batcher_group.data(), batcher_group.size(), exec);
+    }
+    return;
+  }
   if (num_jobs == 1) {
     const SortJob& job = jobs[0];
     INCSHRINK_CHECK(job.proto != nullptr && job.rows != nullptr);
@@ -275,6 +306,16 @@ void ObliviousSortBatch(SortJob* jobs, size_t num_jobs,
       ApplyJobRange(*chunks[c].state, chunks[c].begin, chunks[c].end);
     });
   }
+}
+
+const char* SortAlgorithmName(SortAlgorithm a) {
+  switch (a) {
+    case SortAlgorithm::kBatcher:
+      return "batcher";
+    case SortAlgorithm::kShuffleSort:
+      return "shuffle_sort";
+  }
+  return "unknown";
 }
 
 void ObliviousSort(Protocol2PC* proto, SharedRows* rows, size_t key_col,

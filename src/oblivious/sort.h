@@ -31,6 +31,24 @@ namespace incshrink {
 /// bit-identical to the scalar per-op path at any thread count
 /// (tests/batched_oblivious_test.cc).
 
+/// Which full-sort execution policy an oblivious sort runs.
+///
+///  * kBatcher — Batcher's odd-even merge network, O(n log^2 n)
+///    compare-exchanges. The reference path: goldens are recorded on it.
+///  * kShuffleSort — ORQ-style shuffle-then-sort (src/oblivious/shuffle.h):
+///    a random Waksman shuffle followed by a second Waksman pass programmed
+///    from the stable in-protocol argsort of the shuffled keys,
+///    O(n log n) mux gates + n*ceil(log2 n) charged comparisons. Opt-in
+///    via IncShrinkConfig::sort_algorithm; same sorted key order, different
+///    tie placement and circuit trace (both traces remain pure functions of
+///    the public row count — tests/shuffle_test.cc pins this).
+enum class SortAlgorithm : uint8_t {
+  kBatcher,
+  kShuffleSort,
+};
+
+const char* SortAlgorithmName(SortAlgorithm a);
+
 /// Sorts `rows` in place by the 32-bit key in `key_col`.
 /// Ascending if `ascending`, else descending.
 void ObliviousSort(Protocol2PC* proto, SharedRows* rows, size_t key_col,
@@ -62,6 +80,10 @@ struct SortJob {
   size_t minor_col = 0;  ///< lex tie-break column (lex jobs only)
   bool lex = false;
   bool ascending = true;
+  /// Execution policy of this job. A batch may mix policies freely (jobs
+  /// run on distinct protocols, so the groups cannot perturb each other's
+  /// streams); shuffle-sort jobs must be single-key (lex == false).
+  SortAlgorithm algorithm = SortAlgorithm::kBatcher;
 };
 
 /// Cross-shard / cross-tenant sort fusion: executes every job's sorting

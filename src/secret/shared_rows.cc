@@ -49,8 +49,13 @@ SharedRows SharedRows::SplitPrefix(size_t n) {
   n = std::min(n, rows_);
   SharedRows head(width_);
   const size_t words = n * width_;
-  head.shares0_.assign(shares0_.begin(), shares0_.begin() + words);
-  head.shares1_.assign(shares1_.begin(), shares1_.begin() + words);
+  // One exact allocation per share array: prefix cuts run on every cache
+  // read/flush, and assign()'s growth path may over- or re-allocate.
+  head.Reserve(n);
+  head.shares0_.insert(head.shares0_.end(), shares0_.begin(),
+                       shares0_.begin() + words);
+  head.shares1_.insert(head.shares1_.end(), shares1_.begin(),
+                       shares1_.begin() + words);
   head.rows_ = n;
   shares0_.erase(shares0_.begin(), shares0_.begin() + words);
   shares1_.erase(shares1_.begin(), shares1_.begin() + words);

@@ -1,0 +1,36 @@
+// Lint self-test fixture: a programmed-Waksman shuffle site is clean — the
+// permutation comes from the jointly seeded resharing stream, so the routing
+// program (network topology, layer sizes, every switch's control bit) is
+// PUBLIC and may steer branches, loop bounds, and allocations. Only the
+// shuffled payload (SharedRows) stays secret.
+// Not compiled — analyzed by tools/lint/oblivious_lint.py --selftest.
+// expect-findings: 0
+#include "src/mpc/protocol.h"
+#include "src/oblivious/shuffle.h"
+
+namespace incshrink {
+
+void ProgrammedWaksmanSite(Protocol2PC* proto, SharedRows* rows) {
+  // Drawing the permutation is a sanctioned declassification: both servers
+  // derive it from the shared resharing stream, independent of any payload.
+  const std::vector<uint32_t> perm =
+      DrawPublicPermutation(proto, rows->size());
+  const std::vector<std::vector<ProgrammedSwitch>> layers =
+      WaksmanNetwork(perm);
+  for (const auto& layer : layers) {  // clean: public network topology
+    for (const auto& sw : layer) {    // clean: public layer population
+      if (sw.swap) {  // clean: control bits are public by construction
+        proto->AccountRounds(0);
+      }
+    }
+  }
+  // Closed-form network stats are public too — fine as loop/alloc drivers.
+  const uint64_t switches = ShuffleNetworkSwitches(rows->size());
+  std::vector<uint64_t> per_layer(ShuffleNetworkDepth(rows->size()));
+  for (uint64_t i = 0; i < switches && i < per_layer.size(); ++i) {
+    per_layer[i] = i;
+  }
+  (void)per_layer;
+}
+
+}  // namespace incshrink

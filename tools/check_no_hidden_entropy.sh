@@ -205,4 +205,27 @@ if [ -f "$BATCH_SCHEDULER" ]; then
     exit 1
   fi
 fi
+
+# Shuffle-network hygiene (Waksman-shuffle satellite): the permutation that
+# programs a Waksman network's control bits must come exclusively from the
+# jointly seeded resharing stream (Protocol2PC::DrawReshareMasks, consumed
+# by DrawPublicPermutation) — that is what makes the control bits *public*
+# and the shuffle simulatable. A raw Rng construction, a direct Next32/
+# Next64 draw, or any share-level peeking in src/oblivious/shuffle.cc would
+# either desynchronize both parties' view of the permutation or leak
+# payload bits into the routing program.
+SHUFFLE_SCHEDULER=src/oblivious/shuffle.cc
+if [ -f "$SHUFFLE_SCHEDULER" ]; then
+  hits=$(grep -nE '\bRng\s*\(|Next32|Next64|internal_rng|ShareWord|Laplace' \
+         "$SHUFFLE_SCHEDULER")
+  if [ -n "$hits" ]; then
+    say "FORBIDDEN direct randomness in the shuffle network:"
+    echo "$hits"
+    echo
+    say "Shuffle control bits may only be programmed from permutations drawn"
+    say "via Protocol2PC::DrawReshareMasks (DrawPublicPermutation in"
+    say "src/oblivious/shuffle.h)."
+    exit 1
+  fi
+fi
 say "OK: no hidden entropy sources found."
