@@ -1,0 +1,178 @@
+// Snapshot/restore throughput of the ICKP checkpoint path (crash-recovery
+// tentpole): how fast a full deployment — engine, sharded cache, ledgers,
+// channels, both owners — serializes and restores, as the cache grows and
+// as the shard count changes.
+//
+// For each (steps, shards) cell the bench runs a deployment over a
+// deterministic TPC-DS stream, then times `--reps` SaveCheckpoint calls and
+// `--reps` RestoreCheckpoint calls into a cold deployment, reporting MB/s
+// over the blob size and rows/s over the shared rows the snapshot carries
+// (cache + view + store + channel backlogs).
+//
+// The bench is also a determinism gate, not just a stopwatch: every cell
+// cross-checks save(restore(save())) == save() byte for byte via FNV-1a64
+// fingerprints and exits nonzero on any mismatch — so the ctest smoke
+// invocation doubles as an end-to-end round-trip test at bench scale.
+//
+// Flags: --steps N   workload length per cell, scaled x1/x2/x4 (default 24)
+//        --reps R    timed save/restore repetitions per cell (default 4)
+// Timing uses steady_clock and is measurement-only: it never feeds back
+// into behavior (the blobs are bit-deterministic regardless of the clock).
+
+#include <chrono>
+#include <cstdint>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <vector>
+
+#include "src/core/engine.h"
+#include "src/core/owner_client.h"
+#include "src/storage/checkpoint.h"
+#include "src/workload/generators.h"
+
+using namespace incshrink;
+
+namespace {
+
+struct BenchArgs {
+  uint64_t steps = 24;
+  uint64_t reps = 4;
+};
+
+BenchArgs ParseArgs(int argc, char** argv) {
+  BenchArgs args;
+  for (int i = 1; i < argc; ++i) {
+    uint64_t* field = nullptr;
+    if (std::strcmp(argv[i], "--steps") == 0) {
+      field = &args.steps;
+    } else if (std::strcmp(argv[i], "--reps") == 0) {
+      field = &args.reps;
+    } else {
+      std::fprintf(stderr, "error: unrecognized flag '%s'\n", argv[i]);
+      std::exit(2);
+    }
+    if (i + 1 >= argc) {
+      std::fprintf(stderr, "error: flag '%s' is missing its value\n", argv[i]);
+      std::exit(2);
+    }
+    *field = std::strtoull(argv[++i], nullptr, 10);
+    if (*field == 0) {
+      std::fprintf(stderr, "error: flag '%s' must be positive\n", argv[i - 1]);
+      std::exit(2);
+    }
+  }
+  return args;
+}
+
+double SecondsSince(std::chrono::steady_clock::time_point start) {
+  return std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                       start)
+      .count();
+}
+
+IncShrinkConfig CellConfig(uint32_t shards) {
+  IncShrinkConfig cfg = DefaultTpcDsConfig();
+  cfg.strategy = Strategy::kDpTimer;
+  cfg.timer_T = 4;
+  cfg.flush_interval = 8;
+  cfg.num_cache_shards = shards;
+  return cfg;
+}
+
+/// One bench cell: grow a deployment for `steps`, then time save + restore.
+/// Returns false on any round-trip fingerprint mismatch.
+bool RunCell(uint64_t steps, uint32_t shards, uint64_t reps) {
+  TpcDsParams params;
+  params.steps = steps;
+  params.seed = 2022;
+  const GeneratedWorkload w = GenerateTpcDs(params);
+  const IncShrinkConfig cfg = CellConfig(shards);
+
+  SynchronousDeployment warm(cfg);
+  if (!warm.Run(w.t1, w.t2).ok()) {
+    std::fprintf(stderr, "error: warmup run failed\n");
+    return false;
+  }
+
+  // Timed saves.
+  std::vector<uint8_t> blob;
+  const auto save_start = std::chrono::steady_clock::now();
+  for (uint64_t r = 0; r < reps; ++r) {
+    Result<std::vector<uint8_t>> snapshot = warm.SaveCheckpoint();
+    if (!snapshot.ok()) {
+      std::fprintf(stderr, "error: save failed: %s\n",
+                   snapshot.status().message().c_str());
+      return false;
+    }
+    blob = std::move(*snapshot);
+  }
+  const double save_s = SecondsSince(save_start);
+
+  // Timed restores into a cold deployment.
+  SynchronousDeployment cold(cfg);
+  const auto restore_start = std::chrono::steady_clock::now();
+  for (uint64_t r = 0; r < reps; ++r) {
+    const Status st = cold.RestoreCheckpoint(blob);
+    if (!st.ok()) {
+      std::fprintf(stderr, "error: restore failed: %s\n",
+                   st.message().c_str());
+      return false;
+    }
+  }
+  const double restore_s = SecondsSince(restore_start);
+
+  // Round-trip gate: the restored deployment must re-serialize to the same
+  // bytes (compared via FNV-1a64 fingerprints AND directly).
+  Result<std::vector<uint8_t>> again = cold.SaveCheckpoint();
+  if (!again.ok()) {
+    std::fprintf(stderr, "error: re-save failed\n");
+    return false;
+  }
+  const uint64_t fp_before = Fnv1a64(blob.data(), blob.size());
+  const uint64_t fp_after = Fnv1a64(again->data(), again->size());
+  if (fp_before != fp_after || blob != *again) {
+    std::fprintf(stderr,
+                 "FINGERPRINT MISMATCH steps=%llu shards=%u: "
+                 "%016llx != %016llx\n",
+                 static_cast<unsigned long long>(steps), shards,
+                 static_cast<unsigned long long>(fp_before),
+                 static_cast<unsigned long long>(fp_after));
+    return false;
+  }
+
+  const RunSummary summary = warm.Summary();
+  const double mb = static_cast<double>(blob.size()) / (1024.0 * 1024.0);
+  const double snapshot_rows = static_cast<double>(
+      summary.final_cache_rows + summary.final_view_rows);
+  const double reps_d = static_cast<double>(reps);
+  std::printf(
+      "steps=%-4llu shards=%u  blob=%8.3f MB  rows=%7.0f  "
+      "save=%8.1f MB/s %9.0f rows/s  restore=%8.1f MB/s %9.0f rows/s  "
+      "fp=%016llx\n",
+      static_cast<unsigned long long>(steps), shards, mb, snapshot_rows,
+      mb * reps_d / save_s, snapshot_rows * reps_d / save_s,
+      mb * reps_d / restore_s, snapshot_rows * reps_d / restore_s,
+      static_cast<unsigned long long>(fp_before));
+  return true;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const BenchArgs args = ParseArgs(argc, argv);
+  std::printf("ICKP checkpoint throughput (reps=%llu per cell)\n",
+              static_cast<unsigned long long>(args.reps));
+  bool ok = true;
+  for (const uint64_t scale : {1ull, 2ull, 4ull}) {
+    for (const uint32_t shards : {1u, 2u, 4u}) {
+      ok = RunCell(args.steps * scale, shards, args.reps) && ok;
+    }
+  }
+  if (!ok) {
+    std::fprintf(stderr, "bench_checkpoint: FAILED (see above)\n");
+    return 1;
+  }
+  std::printf("bench_checkpoint: all round-trip fingerprints verified\n");
+  return 0;
+}

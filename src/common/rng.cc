@@ -1,6 +1,7 @@
 #include "src/common/rng.h"
 
 #include <cmath>
+#include <cstring>
 
 namespace incshrink {
 
@@ -59,6 +60,22 @@ uint64_t Rng::Poisson(double mean) {
   // Normal approximation with continuity correction for large means.
   const double sample = Normal(mean, std::sqrt(mean));
   return sample <= 0 ? 0 : static_cast<uint64_t>(sample + 0.5);
+}
+
+RngState Rng::ExportState() const {
+  RngState state;
+  for (int i = 0; i < 4; ++i) state.s[i] = s_[i];
+  std::memcpy(&state.cached_normal_bits, &cached_normal_,
+              sizeof(state.cached_normal_bits));
+  state.have_cached_normal = have_cached_normal_;
+  return state;
+}
+
+void Rng::RestoreState(const RngState& state) {
+  for (int i = 0; i < 4; ++i) s_[i] = state.s[i];
+  std::memcpy(&cached_normal_, &state.cached_normal_bits,
+              sizeof(cached_normal_));
+  have_cached_normal_ = state.have_cached_normal;
 }
 
 double Rng::Normal(double mean, double stddev) {

@@ -6,6 +6,17 @@
 
 namespace incshrink {
 
+/// Complete serialized state of an Rng: the four xoshiro256** words plus the
+/// Box-Muller spare. Capturing and restoring this struct resumes the stream
+/// at the exact cursor, so a checkpointed run continues bit-identically. The
+/// cached normal is carried as raw IEEE-754 bits to keep the round trip exact
+/// through byte-oriented snapshot formats.
+struct RngState {
+  uint64_t s[4] = {0, 0, 0, 0};
+  uint64_t cached_normal_bits = 0;
+  bool have_cached_normal = false;
+};
+
 /// \brief Deterministic, fast pseudo-random generator (xoshiro256**).
 ///
 /// Used for share randomization, dummy payloads, workload generation and the
@@ -69,6 +80,16 @@ class Rng {
 
   /// Returns true with probability p.
   bool Bernoulli(double p) { return NextDouble() < p; }
+
+  /// Exports the full stream cursor for checkpointing. The exported state is
+  /// a pure function of the seed and the number of draws so far — persisting
+  /// it leaks nothing beyond what the (public) seed already determines.
+  RngState ExportState() const;
+
+  /// Overwrites the stream cursor with a previously exported state. After
+  /// this call the generator produces exactly the draws the exporting
+  /// generator would have produced next. Restore never draws.
+  void RestoreState(const RngState& state);
 
  private:
   static uint64_t Rotl(uint64_t x, int k) {

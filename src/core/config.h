@@ -145,6 +145,21 @@ struct IncShrinkConfig {
   /// exhaustively padded outputs (the engine clears this flag for EP).
   bool compact_transform_output = true;
 
+  // --- crash recovery (ICKP snapshots, src/storage/checkpoint.h) ---
+  /// Automatic checkpoint cadence in engine steps: after every
+  /// `checkpoint_interval`-th completed step the engine serializes its full
+  /// resumable state into an in-memory slot (`Engine::last_checkpoint()`)
+  /// for a recovery driver to persist. 0 (the default) disables the
+  /// automatic slot; explicit `Engine::SaveCheckpoint()` always works.
+  /// Snapshotting draws no randomness, so any cadence leaves the run
+  /// bit-identical to an uncheckpointed one.
+  uint32_t checkpoint_interval = 0;
+  /// Ceiling on one serialized snapshot. SaveCheckpoint returns OutOfRange
+  /// instead of producing a larger blob, so a misconfigured deployment
+  /// cannot fill a disk or the wire with a runaway snapshot. Must be at
+  /// least 4096 (header, checksum and section framing need real room).
+  uint64_t checkpoint_max_bytes = 1ull << 30;
+
   // --- simulation ---
   CostModel cost_model = CostModel::EmpLikeLan();
   uint64_t seed = 42;
@@ -152,5 +167,12 @@ struct IncShrinkConfig {
   /// Validates parameter consistency (omega <= b, eps > 0, ...).
   Status Validate() const;
 };
+
+/// FNV-1a64 fingerprint over every behavior-determining config field
+/// (doubles as raw IEEE-754 bits). Stored in each ICKP snapshot and compared
+/// at restore time: a snapshot only loads into an engine whose configuration
+/// matches the one that produced it, because restored RNG cursors and share
+/// state only mean anything under identical parameters.
+uint64_t ConfigFingerprint(const IncShrinkConfig& config);
 
 }  // namespace incshrink

@@ -11,6 +11,7 @@
 #include "src/oblivious/join.h"
 #include "src/oblivious/shuffle.h"
 #include "src/relational/encode.h"
+#include "src/storage/checkpoint.h"
 #include "src/storage/serialization.h"
 
 namespace incshrink {
@@ -24,6 +25,123 @@ IncShrinkConfig AdjustForStrategy(IncShrinkConfig config) {
     config.compact_transform_output = false;
   }
   return config;
+}
+
+// ---------------------------------------------------------------------------
+// ICKP snapshot layout of one engine (src/storage/checkpoint.h). Sections in
+// fixed order; every variable-length list is count-prefixed and decoded under
+// the reader's ok() guard, so hostile counts can never read past a section.
+// ---------------------------------------------------------------------------
+constexpr uint32_t kTagFingerprint = CheckpointTag('C', 'F', 'G', ' ');
+constexpr uint32_t kTagClocks = CheckpointTag('C', 'L', 'K', ' ');
+constexpr uint32_t kTagRandomness = CheckpointTag('R', 'N', 'G', ' ');
+constexpr uint32_t kTagLedger = CheckpointTag('A', 'C', 'C', 'T');
+constexpr uint32_t kTagStore1 = CheckpointTag('S', 'T', 'R', '1');
+constexpr uint32_t kTagStore2 = CheckpointTag('S', 'T', 'R', '2');
+constexpr uint32_t kTagCache = CheckpointTag('C', 'S', 'H', 'D');
+constexpr uint32_t kTagTheta = CheckpointTag('T', 'H', 'T', 'A');
+constexpr uint32_t kTagView = CheckpointTag('V', 'I', 'E', 'W');
+constexpr uint32_t kTagTruth = CheckpointTag('T', 'R', 'U', 'T');
+constexpr uint32_t kTagLogs = CheckpointTag('L', 'O', 'G', 'S');
+constexpr uint32_t kTagChannel1 = CheckpointTag('C', 'H', 'N', '1');
+constexpr uint32_t kTagChannel2 = CheckpointTag('C', 'H', 'N', '2');
+
+void SaveStore(CheckpointWriter* w, uint32_t tag,
+               const OutsourcedTable& store) {
+  w->BeginSection(tag);
+  w->U64(store.steps());
+  for (uint64_t s = 0; s < store.steps(); ++s) {
+    w->WriteSharedRows(store.batch(s));
+  }
+  w->EndSection();
+}
+
+Status LoadStore(CheckpointReader* r, uint32_t tag, size_t width,
+                 std::vector<SharedRows>* out) {
+  r->BeginSection(tag);
+  const uint64_t steps = r->U64();
+  for (uint64_t s = 0; s < steps && r->ok(); ++s) {
+    INCSHRINK_ASSIGN_OR_RETURN(SharedRows batch, r->ReadSharedRows());
+    if (batch.width() != width) {
+      return Status::InvalidArgument(
+          "snapshot store batch has the wrong row width");
+    }
+    out->push_back(std::move(batch));
+  }
+  r->EndSection();
+  return r->ExpectOk("outsourced store");
+}
+
+void SaveChannel(CheckpointWriter* w, uint32_t tag, const UploadChannel& ch) {
+  w->BeginSection(tag);
+  const std::vector<std::vector<uint8_t>> frames = ch.PendingFrames();
+  w->U64(frames.size());
+  for (const std::vector<uint8_t>& frame : frames) w->Bytes(frame);
+  w->U64(ch.frames_pushed());
+  w->U64(ch.frames_popped());
+  w->U64(ch.push_rejects());
+  w->U64(ch.bytes_pushed());
+  w->U64(ch.max_depth());
+  w->EndSection();
+}
+
+/// Decodes a channel section into a scratch channel of this deployment's
+/// capacity; the scratch commits by move-assignment only after every other
+/// snapshot section has validated.
+Status LoadChannel(CheckpointReader* r, uint32_t tag, UploadChannel* scratch) {
+  r->BeginSection(tag);
+  const uint64_t count = r->U64();
+  std::vector<std::vector<uint8_t>> frames;
+  for (uint64_t i = 0; i < count && r->ok(); ++i) {
+    frames.push_back(r->Bytes());
+  }
+  UploadChannel::CounterState counters;
+  counters.frames_pushed = r->U64();
+  counters.frames_popped = r->U64();
+  counters.push_rejects = r->U64();
+  counters.bytes_pushed = r->U64();
+  counters.max_depth = r->U64();
+  r->EndSection();
+  INCSHRINK_RETURN_NOT_OK(r->ExpectOk("upload channel backlog"));
+  return scratch->Restore(std::move(frames), counters);
+}
+
+void SaveMetrics(CheckpointWriter* w, const StepMetrics& m) {
+  w->U64(m.t);
+  w->F64(m.transform_seconds);
+  w->F64(m.shrink_seconds);
+  w->F64(m.query_seconds);
+  w->U64(m.true_count);
+  w->U64(m.view_answer);
+  w->F64(m.l1_error);
+  w->F64(m.relative_error);
+  w->U64(m.view_rows);
+  w->U64(m.cache_rows);
+  w->U8(m.synced ? 1 : 0);
+  w->U64(m.sync_rows);
+  w->U8(m.flushed ? 1 : 0);
+}
+
+/// False on a non-canonical bool byte (hostile snapshot); reader ok-flag
+/// failures surface through the caller's ExpectOk.
+bool LoadMetrics(CheckpointReader* r, StepMetrics* m) {
+  m->t = r->U64();
+  m->transform_seconds = r->F64();
+  m->shrink_seconds = r->F64();
+  m->query_seconds = r->F64();
+  m->true_count = r->U64();
+  m->view_answer = r->U64();
+  m->l1_error = r->F64();
+  m->relative_error = r->F64();
+  m->view_rows = r->U64();
+  m->cache_rows = r->U64();
+  const uint8_t synced = r->U8();
+  m->sync_rows = r->U64();
+  const uint8_t flushed = r->U8();
+  if (synced > 1 || flushed > 1) return false;
+  m->synced = synced == 1;
+  m->flushed = flushed == 1;
+  return true;
 }
 
 }  // namespace
@@ -391,6 +509,17 @@ Status Engine::FinishStep() {
   m.cache_rows = cache_.size();
   metrics_.push_back(m);
   pending_.reset();
+
+  // Automatic checkpoint slot. Snapshotting draws no randomness, so the run
+  // stays bit-identical to an uncheckpointed one at any cadence.
+  if (config_.checkpoint_interval > 0 &&
+      t_ % config_.checkpoint_interval == 0) {
+    Result<std::vector<uint8_t>> snapshot = SaveCheckpoint();
+    if (!snapshot.ok()) return snapshot.status();
+    last_checkpoint_ = std::move(snapshot).value();
+    last_checkpoint_step_ = t_;
+    ++checkpoints_taken_;
+  }
   return Status::OK();
 }
 
@@ -492,6 +621,351 @@ Engine::AdHocResult Engine::AnswerAdHocQuery(const AnalystQuery& query) {
     }
   }
   return result;
+}
+
+Result<std::vector<uint8_t>> Engine::SaveCheckpoint() {
+  if (pending_ != nullptr) {
+    return Status::FailedPrecondition(
+        "cannot checkpoint between BeginStep and FinishStep");
+  }
+  CheckpointWriter w;
+
+  w.BeginSection(kTagFingerprint);
+  w.U64(ConfigFingerprint(config_));
+  w.EndSection();
+
+  w.BeginSection(kTagClocks);
+  w.U64(t_);
+  w.U64(frames_drained_);
+  w.U64(filter_truth_);
+  w.U64(total_real_entries_);
+  w.EndSection();
+
+  w.BeginSection(kTagRandomness);
+  w.WriteRng(s0_.rng()->ExportState());
+  w.WriteRng(s1_.rng()->ExportState());
+  w.WriteRng(proto_.internal_rng()->ExportState());
+  w.WriteStats(proto_.Snapshot());
+  w.EndSection();
+
+  w.BeginSection(kTagLedger);
+  const std::vector<PrivacyAccountant::LedgerEntry> ledger =
+      accountant_.ExportLedger();
+  w.U64(ledger.size());
+  for (const PrivacyAccountant::LedgerEntry& e : ledger) {
+    w.U32(e.rid);
+    w.U32(e.charged);
+    w.U32(e.contributed);
+  }
+  w.EndSection();
+
+  SaveStore(&w, kTagStore1, store1_);
+  SaveStore(&w, kTagStore2, store2_);
+
+  w.BeginSection(kTagCache);
+  w.U64(*cache_.seq());
+  w.U64(cache_.append_cursor());
+  w.U64(cache_.num_shards());
+  for (size_t k = 0; k < cache_.num_shards(); ++k) {
+    w.WriteSharedRows(*cache_.shard(k).rows());
+    w.WriteWordShares(cache_.shard(k).counter());
+    w.U64(cache_.shard(k).seq_value());
+  }
+  const bool derived = cache_.shard_party(0, 0) != nullptr;
+  w.U8(derived ? 1 : 0);
+  if (derived) {
+    for (size_t k = 0; k < cache_.num_shards(); ++k) {
+      w.WriteRng(cache_.shard_party(k, 0)->rng()->ExportState());
+      w.WriteRng(cache_.shard_party(k, 1)->rng()->ExportState());
+      w.WriteRng(cache_.shard_proto(k)->internal_rng()->ExportState());
+      w.WriteStats(cache_.shard_proto(k)->Snapshot());
+    }
+  }
+  w.EndSection();
+
+  w.BeginSection(kTagTheta);
+  w.U64(ants_.size());
+  for (const std::unique_ptr<ShrinkAnt>& ant : ants_) {
+    w.WriteWordShares(ant->shared_theta());
+  }
+  w.EndSection();
+
+  w.BeginSection(kTagView);
+  w.WriteSharedRows(view_.rows());
+  w.EndSection();
+
+  w.BeginSection(kTagTruth);
+  truth_.SaveTo(&w);
+  w.EndSection();
+
+  w.BeginSection(kTagLogs);
+  w.U64(metrics_.size());
+  for (const StepMetrics& m : metrics_) SaveMetrics(&w, m);
+  w.U64(transcript_.size());
+  for (const TranscriptEvent& e : transcript_) {
+    w.U8(static_cast<uint8_t>(e.kind));
+    w.U64(e.t);
+    w.U64(e.rows);
+  }
+  w.U64(releases_.size());
+  for (const LeakageRelease& rel : releases_) {
+    w.U64(rel.t);
+    w.U32(rel.size);
+    w.U8(rel.fired ? 1 : 0);
+  }
+  w.U64(real_entries_per_step_.size());
+  for (const uint32_t v : real_entries_per_step_) w.U32(v);
+  w.U64(upload_rows_t1_log_.size());
+  for (const uint64_t v : upload_rows_t1_log_) w.U64(v);
+  w.U64(upload_rows_t2_log_.size());
+  for (const uint64_t v : upload_rows_t2_log_) w.U64(v);
+  w.EndSection();
+
+  SaveChannel(&w, kTagChannel1, channel1_);
+  SaveChannel(&w, kTagChannel2, channel2_);
+
+  std::vector<uint8_t> blob = w.Finish();
+  if (blob.size() > config_.checkpoint_max_bytes) {
+    return Status::OutOfRange(
+        "snapshot exceeds checkpoint_max_bytes; raise the ceiling or "
+        "checkpoint a smaller deployment");
+  }
+  return blob;
+}
+
+Status Engine::RestoreCheckpoint(const std::vector<uint8_t>& snapshot) {
+  if (pending_ != nullptr) {
+    return Status::FailedPrecondition(
+        "cannot restore between BeginStep and FinishStep");
+  }
+  INCSHRINK_ASSIGN_OR_RETURN(CheckpointReader r,
+                             CheckpointReader::Open(snapshot));
+
+  // Decode phase: everything lands in temporaries; no engine member is
+  // touched until every section (and the container itself) has validated.
+  r.BeginSection(kTagFingerprint);
+  const uint64_t fingerprint = r.U64();
+  r.EndSection();
+  INCSHRINK_RETURN_NOT_OK(r.ExpectOk("snapshot fingerprint"));
+  if (fingerprint != ConfigFingerprint(config_)) {
+    return Status::FailedPrecondition(
+        "snapshot was taken under a different configuration");
+  }
+
+  r.BeginSection(kTagClocks);
+  const uint64_t t = r.U64();
+  const uint64_t frames_drained = r.U64();
+  const uint64_t filter_truth = r.U64();
+  const uint64_t total_real_entries = r.U64();
+  r.EndSection();
+
+  r.BeginSection(kTagRandomness);
+  const RngState rng0 = r.ReadRng();
+  const RngState rng1 = r.ReadRng();
+  const RngState proto_rng = r.ReadRng();
+  const CircuitStats proto_stats = r.ReadStats();
+  r.EndSection();
+  INCSHRINK_RETURN_NOT_OK(r.ExpectOk("engine clocks and randomness"));
+
+  r.BeginSection(kTagLedger);
+  const uint64_t ledger_size = r.U64();
+  std::vector<PrivacyAccountant::LedgerEntry> ledger;
+  for (uint64_t i = 0; i < ledger_size && r.ok(); ++i) {
+    PrivacyAccountant::LedgerEntry e;
+    e.rid = r.U32();
+    e.charged = r.U32();
+    e.contributed = r.U32();
+    ledger.push_back(e);
+  }
+  r.EndSection();
+  INCSHRINK_RETURN_NOT_OK(r.ExpectOk("privacy ledger"));
+
+  std::vector<SharedRows> batches1;
+  std::vector<SharedRows> batches2;
+  INCSHRINK_RETURN_NOT_OK(LoadStore(&r, kTagStore1, kSrcWidth, &batches1));
+  INCSHRINK_RETURN_NOT_OK(LoadStore(&r, kTagStore2, kSrcWidth, &batches2));
+
+  r.BeginSection(kTagCache);
+  const uint64_t cache_seq = r.U64();
+  const uint64_t append_cursor = r.U64();
+  const uint64_t num_shards = r.U64();
+  INCSHRINK_RETURN_NOT_OK(r.ExpectOk("sharded cache header"));
+  if (num_shards != cache_.num_shards()) {
+    return Status::InvalidArgument(
+        "snapshot shard count disagrees with this engine's configuration");
+  }
+  std::vector<SharedRows> shard_rows;
+  std::vector<WordShares> shard_counters;
+  std::vector<uint64_t> shard_seqs;
+  for (uint64_t k = 0; k < num_shards && r.ok(); ++k) {
+    INCSHRINK_ASSIGN_OR_RETURN(SharedRows rows, r.ReadSharedRows());
+    if (rows.width() != kViewWidth) {
+      return Status::InvalidArgument(
+          "snapshot cache shard has the wrong row width");
+    }
+    shard_rows.push_back(std::move(rows));
+    shard_counters.push_back(r.ReadWordShares());
+    shard_seqs.push_back(r.U64());
+  }
+  const uint8_t has_derived = r.U8();
+  std::vector<RngState> shard_party_rngs;
+  std::vector<RngState> shard_proto_rngs;
+  std::vector<CircuitStats> shard_stats;
+  if (has_derived == 1) {
+    for (uint64_t k = 0; k < num_shards && r.ok(); ++k) {
+      shard_party_rngs.push_back(r.ReadRng());
+      shard_party_rngs.push_back(r.ReadRng());
+      shard_proto_rngs.push_back(r.ReadRng());
+      shard_stats.push_back(r.ReadStats());
+    }
+  }
+  r.EndSection();
+  INCSHRINK_RETURN_NOT_OK(r.ExpectOk("sharded cache"));
+  if (has_derived > 1 ||
+      (has_derived == 1) != (cache_.shard_party(0, 0) != nullptr)) {
+    return Status::InvalidArgument(
+        "snapshot cache shape disagrees with this engine's sharding");
+  }
+
+  r.BeginSection(kTagTheta);
+  const uint64_t theta_count = r.U64();
+  std::vector<WordShares> thetas;
+  for (uint64_t k = 0; k < theta_count && r.ok(); ++k) {
+    thetas.push_back(r.ReadWordShares());
+  }
+  r.EndSection();
+  INCSHRINK_RETURN_NOT_OK(r.ExpectOk("ANT thresholds"));
+  if (theta_count != ants_.size()) {
+    return Status::InvalidArgument(
+        "snapshot strategy state disagrees with this engine's strategy");
+  }
+
+  r.BeginSection(kTagView);
+  INCSHRINK_ASSIGN_OR_RETURN(SharedRows view_rows, r.ReadSharedRows());
+  r.EndSection();
+  INCSHRINK_RETURN_NOT_OK(r.ExpectOk("materialized view"));
+  if (view_rows.width() != kViewWidth) {
+    return Status::InvalidArgument(
+        "snapshot view has the wrong row width");
+  }
+
+  WindowJoinCounter truth = truth_;
+  r.BeginSection(kTagTruth);
+  INCSHRINK_RETURN_NOT_OK(truth.RestoreFrom(&r));
+  r.EndSection();
+  INCSHRINK_RETURN_NOT_OK(r.ExpectOk("ground-truth counter"));
+
+  r.BeginSection(kTagLogs);
+  const uint64_t metrics_count = r.U64();
+  std::vector<StepMetrics> metrics;
+  for (uint64_t i = 0; i < metrics_count && r.ok(); ++i) {
+    StepMetrics m;
+    if (!LoadMetrics(&r, &m)) {
+      return Status::InvalidArgument(
+          "snapshot step metrics carry non-canonical flags");
+    }
+    metrics.push_back(m);
+  }
+  const uint64_t transcript_count = r.U64();
+  Transcript transcript;
+  for (uint64_t i = 0; i < transcript_count && r.ok(); ++i) {
+    const uint8_t kind = r.U8();
+    TranscriptEvent e{TranscriptEvent::Kind::kUpload, 0, 0};
+    e.t = r.U64();
+    e.rows = r.U64();
+    if (!r.ok()) break;
+    if (kind > static_cast<uint8_t>(TranscriptEvent::Kind::kFlush)) {
+      return Status::InvalidArgument(
+          "snapshot transcript carries an unknown event kind");
+    }
+    e.kind = static_cast<TranscriptEvent::Kind>(kind);
+    transcript.push_back(e);
+  }
+  const uint64_t release_count = r.U64();
+  std::vector<LeakageRelease> releases;
+  for (uint64_t i = 0; i < release_count && r.ok(); ++i) {
+    LeakageRelease rel;
+    rel.t = r.U64();
+    rel.size = r.U32();
+    const uint8_t fired = r.U8();
+    if (!r.ok()) break;
+    if (fired > 1) {
+      return Status::InvalidArgument(
+          "snapshot release log carries non-canonical flags");
+    }
+    rel.fired = fired == 1;
+    releases.push_back(rel);
+  }
+  const uint64_t real_count = r.U64();
+  std::vector<uint32_t> real_entries;
+  for (uint64_t i = 0; i < real_count && r.ok(); ++i) {
+    real_entries.push_back(r.U32());
+  }
+  const uint64_t up1_count = r.U64();
+  std::vector<uint64_t> up1_log;
+  for (uint64_t i = 0; i < up1_count && r.ok(); ++i) {
+    up1_log.push_back(r.U64());
+  }
+  const uint64_t up2_count = r.U64();
+  std::vector<uint64_t> up2_log;
+  for (uint64_t i = 0; i < up2_count && r.ok(); ++i) {
+    up2_log.push_back(r.U64());
+  }
+  r.EndSection();
+  INCSHRINK_RETURN_NOT_OK(r.ExpectOk("engine logs"));
+
+  UploadChannel ch1(config_.upload_channel_capacity);
+  UploadChannel ch2(config_.upload_channel_capacity);
+  INCSHRINK_RETURN_NOT_OK(LoadChannel(&r, kTagChannel1, &ch1));
+  INCSHRINK_RETURN_NOT_OK(LoadChannel(&r, kTagChannel2, &ch2));
+
+  INCSHRINK_RETURN_NOT_OK(r.Finish());
+
+  // Commit phase. The ledger restore validates its own invariants and is
+  // atomic, so it goes first; everything after it cannot fail (store widths
+  // were validated above, the rest are plain assignments). No step below
+  // draws randomness — restored cursors resume the exact party streams.
+  INCSHRINK_RETURN_NOT_OK(accountant_.RestoreLedger(ledger));
+  INCSHRINK_RETURN_NOT_OK(store1_.RestoreBatches(std::move(batches1)));
+  INCSHRINK_RETURN_NOT_OK(store2_.RestoreBatches(std::move(batches2)));
+  s0_.rng()->RestoreState(rng0);
+  s1_.rng()->RestoreState(rng1);
+  proto_.internal_rng()->RestoreState(proto_rng);
+  proto_.RestoreStats(proto_stats);
+  cache_.RestoreCursors(cache_seq, append_cursor);
+  for (size_t k = 0; k < cache_.num_shards(); ++k) {
+    *cache_.shard(k).rows() = std::move(shard_rows[k]);
+    cache_.shard(k).RestoreCounter(shard_counters[k]);
+    cache_.shard(k).RestoreSeq(shard_seqs[k]);
+  }
+  if (has_derived == 1) {
+    for (size_t k = 0; k < cache_.num_shards(); ++k) {
+      cache_.shard_party(k, 0)->rng()->RestoreState(shard_party_rngs[2 * k]);
+      cache_.shard_party(k, 1)->rng()->RestoreState(
+          shard_party_rngs[2 * k + 1]);
+      cache_.shard_proto(k)->internal_rng()->RestoreState(
+          shard_proto_rngs[k]);
+      cache_.shard_proto(k)->RestoreStats(shard_stats[k]);
+    }
+  }
+  for (size_t k = 0; k < ants_.size(); ++k) {
+    ants_[k]->RestoreTheta(thetas[k]);
+  }
+  view_.RestoreRows(std::move(view_rows));
+  truth_ = std::move(truth);
+  t_ = t;
+  frames_drained_ = frames_drained;
+  filter_truth_ = filter_truth;
+  total_real_entries_ = total_real_entries;
+  metrics_ = std::move(metrics);
+  transcript_ = std::move(transcript);
+  releases_ = std::move(releases);
+  real_entries_per_step_ = std::move(real_entries);
+  upload_rows_t1_log_ = std::move(up1_log);
+  upload_rows_t2_log_ = std::move(up2_log);
+  channel1_ = std::move(ch1);
+  channel2_ = std::move(ch2);
+  return Status::OK();
 }
 
 double Engine::ComposedEpsilon() const {

@@ -168,6 +168,38 @@ class Engine {
   /// queries is answerable from the view with small error.
   AdHocResult AnswerAdHocQuery(const AnalystQuery& query);
 
+  // ------------------------------------------------------------------
+  // Crash-safe checkpoint/restore (ICKP v1, src/storage/checkpoint.h).
+  // ------------------------------------------------------------------
+
+  /// Serializes the engine's full resumable state — clocks, RNG cursors,
+  /// privacy ledger, stores, cache shards, view, ground truth, logs and
+  /// channel backlogs — into one ICKP snapshot. Draws no randomness, so
+  /// checkpointing never perturbs the run. Fails with FailedPrecondition
+  /// between BeginStep and FinishStep (in-flight step state is not
+  /// serializable) and with OutOfRange when the blob would exceed
+  /// config().checkpoint_max_bytes.
+  Result<std::vector<uint8_t>> SaveCheckpoint();
+
+  /// Restores a SaveCheckpoint blob into this engine, which must have been
+  /// constructed with the identical config (fingerprint-checked). Atomic:
+  /// everything is decoded and validated into temporaries before any member
+  /// changes, so a malformed or hostile snapshot is rejected with a Status
+  /// and the engine keeps running on its prior state. Never draws
+  /// randomness — restored RNG cursors resume the exact party streams.
+  Status RestoreCheckpoint(const std::vector<uint8_t>& snapshot);
+
+  /// Automatic checkpoint slot: when config().checkpoint_interval > 0,
+  /// FinishStep refreshes this after every interval-th completed step so a
+  /// recovery driver can persist it. Empty until the first auto-checkpoint.
+  const std::vector<uint8_t>& last_checkpoint() const {
+    return last_checkpoint_;
+  }
+  /// Step the auto-checkpoint slot was taken at (0 = never).
+  uint64_t last_checkpoint_step() const { return last_checkpoint_step_; }
+  /// Auto-checkpoints taken over the engine's lifetime.
+  uint64_t checkpoints_taken() const { return checkpoints_taken_; }
+
  private:
   /// In-flight state between BeginStep and FinishStep.
   struct PendingStep {
@@ -232,6 +264,10 @@ class Engine {
   std::vector<uint64_t> upload_rows_t1_log_;  ///< per-step T1 upload sizes
   std::vector<uint64_t> upload_rows_t2_log_;  ///< per-step T2 upload sizes
   uint64_t total_real_entries_ = 0;
+
+  std::vector<uint8_t> last_checkpoint_;  ///< auto-checkpoint slot
+  uint64_t last_checkpoint_step_ = 0;
+  uint64_t checkpoints_taken_ = 0;
 };
 
 }  // namespace incshrink

@@ -148,6 +148,21 @@ class DeploymentFleet {
   uint64_t tenant_seed(size_t i) const;
   RunSummary TenantSummary(size_t i) const { return engines_[i]->Summary(); }
 
+  /// Serializes tenant `i` — its engine (with channel backlogs), both
+  /// owners, and the fleet-side scheduling state (stream cursor, age,
+  /// service history) — into one ICKP snapshot. Together with RestoreTenant
+  /// this is live tenant migration: a tenant checkpointed out of one fleet
+  /// resumes bit-identically inside another fleet built from the same specs
+  /// (worker budgets may differ — scheduling knobs are excluded from the
+  /// config fingerprint).
+  Result<std::vector<uint8_t>> CheckpointTenant(size_t i);
+
+  /// Restores a CheckpointTenant blob into slot `i`, whose spec must match
+  /// the blob's config fingerprint. Atomic: a malformed or mismatched
+  /// snapshot is rejected with a Status and the tenant keeps running on its
+  /// prior state.
+  Status RestoreTenant(size_t i, const std::vector<uint8_t>& snapshot);
+
   /// The public priority key of tenant `i` for the *next* round, exactly as
   /// the scheduler would compute it now. Exposed for tests and benches; a
   /// pure function of public state (queue depth, engine clock, config

@@ -1,6 +1,7 @@
 #include "src/core/owner_client.h"
 
 #include "src/common/logging.h"
+#include "src/storage/checkpoint.h"
 #include "src/storage/serialization.h"
 
 namespace incshrink {
@@ -44,6 +45,33 @@ bool OwnerClient::TryStep(const std::vector<LogicalRecord>& arrivals) {
   return true;
 }
 
+void OwnerClient::SaveTo(CheckpointWriter* writer) const {
+  uploader_.SaveTo(writer);
+  writer->WriteRng(share_rng_.ExportState());
+  writer->U64(t_);
+  writer->U64(frames_sent_);
+  writer->U64(rows_sent_);
+}
+
+Status OwnerClient::RestoreFrom(CheckpointReader* reader) {
+  // The uploader restores first (it validates its own shape) but commits
+  // into itself, so a later failure here would tear the client. The scalar
+  // reads below can only fail through the reader's ok flag, which the
+  // deployment's dry-run pass has already cleared — still, check it before
+  // committing the scalars so a standalone caller stays safe.
+  INCSHRINK_RETURN_NOT_OK(uploader_.RestoreFrom(reader));
+  const RngState share_state = reader->ReadRng();
+  const uint64_t t = reader->U64();
+  const uint64_t frames_sent = reader->U64();
+  const uint64_t rows_sent = reader->U64();
+  INCSHRINK_RETURN_NOT_OK(reader->ExpectOk("owner client state"));
+  share_rng_.RestoreState(share_state);
+  t_ = t;
+  frames_sent_ = frames_sent;
+  rows_sent_ = rows_sent;
+  return Status::OK();
+}
+
 OwnerClient MakeOwner1(const IncShrinkConfig& config, UploadChannel* channel) {
   // Policy seeds match the pre-transport engine (config.seed + 101 / + 202)
   // so the DP-released batch-size sequences are unchanged.
@@ -72,6 +100,80 @@ Status SynchronousDeployment::Step(const std::vector<LogicalRecord>& new1,
     INCSHRINK_CHECK(owner2_.TryStep(new2));
   }
   return engine_.Step();
+}
+
+namespace {
+
+// Outer ICKP layout of a whole deployment: fingerprint, the engine's own
+// (self-validating) snapshot blob, then the two owner sections.
+constexpr uint32_t kTagDeployFingerprint = CheckpointTag('D', 'F', 'G', ' ');
+constexpr uint32_t kTagEngineBlob = CheckpointTag('E', 'N', 'G', ' ');
+constexpr uint32_t kTagOwner1 = CheckpointTag('O', 'W', 'N', '1');
+constexpr uint32_t kTagOwner2 = CheckpointTag('O', 'W', 'N', '2');
+
+}  // namespace
+
+Result<std::vector<uint8_t>> SynchronousDeployment::SaveCheckpoint() {
+  INCSHRINK_ASSIGN_OR_RETURN(const std::vector<uint8_t> engine_blob,
+                             engine_.SaveCheckpoint());
+  CheckpointWriter w;
+  w.BeginSection(kTagDeployFingerprint);
+  w.U64(ConfigFingerprint(engine_.config()));
+  w.EndSection();
+  w.BeginSection(kTagEngineBlob);
+  w.Bytes(engine_blob);
+  w.EndSection();
+  w.BeginSection(kTagOwner1);
+  owner1_.SaveTo(&w);
+  w.EndSection();
+  w.BeginSection(kTagOwner2);
+  owner2_.SaveTo(&w);
+  w.EndSection();
+  std::vector<uint8_t> blob = w.Finish();
+  if (blob.size() > engine_.config().checkpoint_max_bytes) {
+    return Status::OutOfRange(
+        "deployment snapshot exceeds checkpoint_max_bytes");
+  }
+  return blob;
+}
+
+Status SynchronousDeployment::RestoreCheckpoint(
+    const std::vector<uint8_t>& snapshot) {
+  INCSHRINK_ASSIGN_OR_RETURN(CheckpointReader r,
+                             CheckpointReader::Open(snapshot));
+  r.BeginSection(kTagDeployFingerprint);
+  const uint64_t fingerprint = r.U64();
+  r.EndSection();
+  INCSHRINK_RETURN_NOT_OK(r.ExpectOk("deployment fingerprint"));
+  if (fingerprint != ConfigFingerprint(engine_.config())) {
+    return Status::FailedPrecondition(
+        "snapshot was taken under a different configuration");
+  }
+  r.BeginSection(kTagEngineBlob);
+  const std::vector<uint8_t> engine_blob = r.Bytes();
+  r.EndSection();
+  INCSHRINK_RETURN_NOT_OK(r.ExpectOk("embedded engine snapshot"));
+
+  // Dry-run pass: the owner sections restore into freshly constructed
+  // scratch clients first (their constructors draw nothing shared with the
+  // engine), so every fallible decode happens before any live object
+  // changes. The engine restore is atomic on its own, and the final owner
+  // commit is a pair of moves that cannot fail — the deployment restores
+  // all-or-nothing.
+  OwnerClient scratch1 = MakeOwner1(engine_.config(), engine_.channel1());
+  OwnerClient scratch2 = MakeOwner2(engine_.config(), engine_.channel2());
+  r.BeginSection(kTagOwner1);
+  INCSHRINK_RETURN_NOT_OK(scratch1.RestoreFrom(&r));
+  r.EndSection();
+  r.BeginSection(kTagOwner2);
+  INCSHRINK_RETURN_NOT_OK(scratch2.RestoreFrom(&r));
+  r.EndSection();
+  INCSHRINK_RETURN_NOT_OK(r.Finish());
+
+  INCSHRINK_RETURN_NOT_OK(engine_.RestoreCheckpoint(engine_blob));
+  owner1_ = std::move(scratch1);
+  owner2_ = std::move(scratch2);
+  return Status::OK();
 }
 
 Status SynchronousDeployment::Run(

@@ -19,6 +19,9 @@ namespace incshrink {
 /// fleet, a standalone process) reconstructs the exact same owners.
 uint64_t DeriveOwnerShareSeed(uint64_t deployment_seed, int owner_index);
 
+class CheckpointWriter;
+class CheckpointReader;
+
 /// \brief A standalone data owner: the client side of one upload channel.
 ///
 /// Owns the record-synchronization policy state (OwnerUploader), the
@@ -61,6 +64,15 @@ class OwnerClient {
 
   uint64_t frames_sent() const { return frames_sent_; }
   uint64_t rows_sent() const { return rows_sent_; }
+
+  /// Checkpoint support: serializes the owner's full resumable state — the
+  /// policy uploader, the share-randomness cursor, the logical clock and
+  /// the lifetime counters. The channel backlog is engine-side state and is
+  /// captured by Engine::SaveCheckpoint.
+  void SaveTo(CheckpointWriter* writer) const;
+  /// Restores the state saved by SaveTo into a client constructed with the
+  /// same config/seeds; fails closed on malformed input.
+  Status RestoreFrom(CheckpointReader* reader);
 
  private:
   OwnerUploader uploader_;
@@ -108,6 +120,17 @@ class SynchronousDeployment {
     return engine_.step_metrics();
   }
   const Transcript& transcript() const { return engine_.transcript(); }
+
+  /// Serializes the whole deployment — engine (with channel backlogs) and
+  /// both owners — into one ICKP snapshot. Fails between-steps only
+  /// (engine-side precondition) and respects config.checkpoint_max_bytes.
+  Result<std::vector<uint8_t>> SaveCheckpoint();
+  /// Restores a SaveCheckpoint blob into this deployment, which must have
+  /// been constructed with the identical config (fingerprint-checked).
+  /// Atomic: on any error the deployment is left in its prior state, except
+  /// that a torn engine/owner mismatch can only arise from distinct blobs —
+  /// within one valid blob all parts restore or none do.
+  Status RestoreCheckpoint(const std::vector<uint8_t>& snapshot);
 
  private:
   Engine engine_;

@@ -87,6 +87,13 @@ class ShrinkAnt {
   /// encoding is protocol state).
   double noisy_threshold_inside() const;
 
+  /// Checkpoint support: the fixed-point sharing of the current noisy
+  /// threshold, and its restore-path overwrite. Restore deliberately does
+  /// not RefreshThreshold() — drawing joint noise here would desynchronize
+  /// the protocol streams from the run being resumed.
+  const WordShares& shared_theta() const { return shared_theta_; }
+  void RestoreTheta(const WordShares& theta) { shared_theta_ = theta; }
+
  private:
   void RefreshThreshold();
 

@@ -5,11 +5,15 @@
 #include <vector>
 
 #include "src/common/rng.h"
+#include "src/common/status.h"
 #include "src/dp/svt.h"
 #include "src/relational/growing_table.h"
 #include "src/secret/shared_rows.h"
 
 namespace incshrink {
+
+class CheckpointWriter;
+class CheckpointReader;
 
 /// \brief Owner-side record synchronization policy (paper Section 8
 /// "Connecting with DP-Sync", following DP-Sync's private strategies).
@@ -66,6 +70,17 @@ class OwnerUploader {
   double PolicyEpsilon() const;
 
   const UploadPolicyConfig& config() const { return config_; }
+
+  /// Checkpoint support: serializes the policy's mutable state — the policy
+  /// RNG cursor, the pending queue (plaintext the owner holds anyway; a
+  /// snapshot is owner-side state) and, for the SVT policy, the noised
+  /// threshold and release counter.
+  void SaveTo(CheckpointWriter* writer) const;
+  /// Restores the state saved by SaveTo into an uploader constructed with
+  /// the same policy config. Never draws randomness; fails closed when the
+  /// snapshot's policy shape (SVT present or not) disagrees with this
+  /// uploader's.
+  Status RestoreFrom(CheckpointReader* reader);
 
  private:
   /// Dequeues up to `take` real records and pads the batch to `rows` total.

@@ -1,5 +1,7 @@
 #include "src/dp/accountant.h"
 
+#include <algorithm>
+
 #include "src/common/logging.h"
 
 namespace incshrink {
@@ -41,6 +43,55 @@ Status PrivacyAccountant::RecordContribution(uint32_t rid, uint32_t rows) {
   }
   rows_so_far += rows;
   total_contributions_ += rows;
+  return Status::OK();
+}
+
+std::vector<PrivacyAccountant::LedgerEntry> PrivacyAccountant::ExportLedger()
+    const {
+  std::vector<LedgerEntry> out;
+  out.reserve(charged_.size());
+  for (const auto& [rid, charged] : charged_) {
+    const auto it = contributed_.find(rid);
+    out.push_back({rid, charged, it == contributed_.end() ? 0 : it->second});
+  }
+  // A contribution without a charge is impossible live (RecordContribution
+  // rejects rows > charged, and charged==0 forces rows==0), but a zero-row
+  // contributed_ entry can exist; it carries no state worth persisting.
+  std::sort(out.begin(), out.end(),
+            [](const LedgerEntry& a, const LedgerEntry& b) {
+              return a.rid < b.rid;
+            });
+  return out;
+}
+
+Status PrivacyAccountant::RestoreLedger(
+    const std::vector<LedgerEntry>& entries) {
+  // Validate the whole ledger before touching any member: restore is atomic.
+  for (size_t i = 0; i < entries.size(); ++i) {
+    const LedgerEntry& e = entries[i];
+    if (i > 0 && entries[i - 1].rid >= e.rid) {
+      return Status::InvalidArgument(
+          "snapshot ledger rids not strictly increasing");
+    }
+    if (e.charged > b_) {
+      return Status::InvalidArgument(
+          "snapshot ledger charges record " + std::to_string(e.rid) +
+          " beyond its lifetime budget");
+    }
+    if (e.contributed > e.charged) {
+      return Status::InvalidArgument(
+          "snapshot ledger record " + std::to_string(e.rid) +
+          " contributed more rows than it was charged");
+    }
+  }
+  charged_.clear();
+  contributed_.clear();
+  total_contributions_ = 0;
+  for (const LedgerEntry& e : entries) {
+    charged_[e.rid] = e.charged;
+    if (e.contributed > 0) contributed_[e.rid] = e.contributed;
+    total_contributions_ += e.contributed;
+  }
   return Status::OK();
 }
 

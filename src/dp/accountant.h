@@ -3,6 +3,7 @@
 #include <cstdint>
 #include <string>
 #include <unordered_map>
+#include <vector>
 
 #include "src/common/status.h"
 
@@ -71,6 +72,26 @@ class PrivacyAccountant {
 
   /// Laplace scale used by Shrink releases: b / eps.
   double ReleaseScale() const { return static_cast<double>(b_) / eps_; }
+
+  /// One record's row in the serialized ledger.
+  struct LedgerEntry {
+    uint32_t rid = 0;
+    uint32_t charged = 0;
+    uint32_t contributed = 0;
+  };
+
+  /// Exports the full contribution ledger, sorted by rid so snapshot bytes
+  /// are deterministic regardless of hash-map iteration order.
+  std::vector<LedgerEntry> ExportLedger() const;
+
+  /// Replaces the ledger wholesale from a snapshot. A restored accountant
+  /// must resume with bit-exact remaining budget or the eps guarantee is
+  /// silently broken, so this validates every entry against the invariants
+  /// ChargeParticipation/RecordContribution enforce incrementally: charges
+  /// never exceed b, contributions never exceed charges, rids are unique.
+  /// A hostile ledger is rejected with InvalidArgument and the accountant
+  /// is left unchanged.
+  Status RestoreLedger(const std::vector<LedgerEntry>& entries);
 
  private:
   double eps_;

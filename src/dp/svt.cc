@@ -1,5 +1,7 @@
 #include "src/dp/svt.h"
 
+#include <cstring>
+
 #include "src/common/logging.h"
 #include "src/dp/laplace.h"
 
@@ -20,6 +22,21 @@ void NumericAboveNoisyThreshold::RefreshThreshold() {
   // theta~ = theta + Lap(2 * Delta / eps1)   (Alg. 5 line 2 / Alg. 3 line 2)
   noisy_threshold_ =
       threshold_ + SampleLaplace(rng_, 2.0 * sensitivity_ / eps1_);
+}
+
+NumericAboveNoisyThreshold::State NumericAboveNoisyThreshold::ExportState()
+    const {
+  State state;
+  std::memcpy(&state.noisy_threshold_bits, &noisy_threshold_,
+              sizeof(state.noisy_threshold_bits));
+  state.releases = releases_;
+  return state;
+}
+
+void NumericAboveNoisyThreshold::RestoreState(const State& state) {
+  std::memcpy(&noisy_threshold_, &state.noisy_threshold_bits,
+              sizeof(noisy_threshold_));
+  releases_ = state.releases;
 }
 
 bool NumericAboveNoisyThreshold::Observe(double count, double* release) {

@@ -33,6 +33,18 @@ class NumericAboveNoisyThreshold {
   double noisy_threshold() const { return noisy_threshold_; }
   uint64_t releases() const { return releases_; }
 
+  /// Mutable SVT state for checkpointing (the noised threshold and the
+  /// release counter; parameters and the Rng pointer are reconstructed from
+  /// config). The threshold travels as raw IEEE-754 bits for exactness.
+  struct State {
+    uint64_t noisy_threshold_bits = 0;
+    uint64_t releases = 0;
+  };
+  State ExportState() const;
+  /// Overwrites the mutable state. Never draws: refreshing the threshold
+  /// here would desynchronize the owner's policy stream.
+  void RestoreState(const State& state);
+
  private:
   void RefreshThreshold();
 

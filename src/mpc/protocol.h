@@ -394,6 +394,11 @@ class Protocol2PC {
   /// payload generation during padding).
   Rng* internal_rng() { return &internal_rng_; }
 
+  /// Checkpoint-restore path: overwrites the accumulated circuit statistics
+  /// with snapshot values, so per-step cost deltas (Snapshot()/CostSince())
+  /// in a restored run match the uninterrupted run exactly.
+  void RestoreStats(const CircuitStats& stats) { stats_ = stats; }
+
  private:
   /// The one oblivious XOR-swap body both kernel families share; `mask_fn`
   /// supplies the 2*width resharing masks — pre-drawn array reads for the

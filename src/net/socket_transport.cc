@@ -409,7 +409,8 @@ size_t SocketListener::Poll() {
 // ---------------------------------------------------------------------------
 
 SocketSender::SocketSender(const SocketSenderOptions& options)
-    : options_(options) {}
+    : options_(options),
+      next_backoff_rounds_(options.reconnect_backoff_rounds) {}
 
 SocketSender::~SocketSender() { CloseConn(); }
 
@@ -422,7 +423,14 @@ SocketSender::SocketSender(SocketSender&& other) noexcept
       next_seq_(other.next_seq_),
       frames_queued_(other.frames_queued_),
       outbuf_(std::move(other.outbuf_)),
-      out_pos_(other.out_pos_) {
+      out_pos_(other.out_pos_),
+      reconnect_attempts_(other.reconnect_attempts_),
+      reconnect_successes_(other.reconnect_successes_),
+      reconnect_rounds_waited_(other.reconnect_rounds_waited_),
+      attempts_this_outage_(other.attempts_this_outage_),
+      backoff_rounds_left_(other.backoff_rounds_left_),
+      next_backoff_rounds_(other.next_backoff_rounds_),
+      reconnect_gave_up_(other.reconnect_gave_up_) {
   other.fd_ = -1;
 }
 
@@ -438,6 +446,13 @@ SocketSender& SocketSender::operator=(SocketSender&& other) noexcept {
   frames_queued_ = other.frames_queued_;
   outbuf_ = std::move(other.outbuf_);
   out_pos_ = other.out_pos_;
+  reconnect_attempts_ = other.reconnect_attempts_;
+  reconnect_successes_ = other.reconnect_successes_;
+  reconnect_rounds_waited_ = other.reconnect_rounds_waited_;
+  attempts_this_outage_ = other.attempts_this_outage_;
+  backoff_rounds_left_ = other.backoff_rounds_left_;
+  next_backoff_rounds_ = other.next_backoff_rounds_;
+  reconnect_gave_up_ = other.reconnect_gave_up_;
   other.fd_ = -1;
   return *this;
 }
@@ -460,7 +475,42 @@ Status SocketSender::Connect(const std::string& host, uint16_t port,
   host_ = host;
   port_ = port;
   channel_id_ = channel_id;
+  // An explicit dial starts a fresh outage cycle: the round-driven schedule
+  // forgets any give-up verdict and backs off from the configured base again.
+  attempts_this_outage_ = 0;
+  backoff_rounds_left_ = 0;
+  next_backoff_rounds_ = options_.reconnect_backoff_rounds;
+  reconnect_gave_up_ = false;
   return Reconnect();
+}
+
+bool SocketSender::ReconnectRound() {
+  if (connected()) return true;
+  if (reconnect_gave_up_) return false;
+  if (backoff_rounds_left_ > 0) {
+    --backoff_rounds_left_;
+    ++reconnect_rounds_waited_;
+    return false;
+  }
+  ++reconnect_attempts_;
+  ++attempts_this_outage_;
+  if (Reconnect().ok()) {
+    ++reconnect_successes_;
+    attempts_this_outage_ = 0;
+    next_backoff_rounds_ = options_.reconnect_backoff_rounds;
+    return true;
+  }
+  if (attempts_this_outage_ >= options_.reconnect_max_attempts) {
+    reconnect_gave_up_ = true;
+    return false;
+  }
+  backoff_rounds_left_ = next_backoff_rounds_;
+  const uint64_t doubled = static_cast<uint64_t>(next_backoff_rounds_) * 2;
+  next_backoff_rounds_ = static_cast<uint32_t>(
+      doubled > options_.reconnect_backoff_max_rounds
+          ? options_.reconnect_backoff_max_rounds
+          : doubled);
+  return false;
 }
 
 Status SocketSender::Reconnect() {

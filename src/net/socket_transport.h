@@ -160,6 +160,18 @@ struct SocketSenderOptions {
   int connect_timeout_ms = 1000;
   /// Connect attempts before Connect()/Reconnect() gives up.
   int connect_attempts = 10;
+  /// --- Round-driven reconnect (ReconnectRound) -----------------------------
+  /// Backoff is counted in *poll rounds* — calls to ReconnectRound by the
+  /// owner's drive loop — never in wall time, so reconnect schedules stay a
+  /// deterministic function of the driver's round count and src/net stays
+  /// clock-free. After a failed re-dial the sender waits
+  /// `reconnect_backoff_rounds` rounds, doubling per failure up to
+  /// `reconnect_backoff_max_rounds`.
+  uint32_t reconnect_backoff_rounds = 1;
+  uint32_t reconnect_backoff_max_rounds = 64;
+  /// Re-dial attempts per outage before ReconnectRound gives up for good
+  /// (a fresh explicit Connect() resets the outage). Must be >= 1.
+  uint32_t reconnect_max_attempts = 8;
 };
 
 /// \brief Owner-side connection: dials the listener, sends the hello, then
@@ -192,6 +204,22 @@ class SocketSender {
   void CloseConn();
   bool connected() const { return fd_ >= 0; }
 
+  /// One round of the bounded deterministic reconnect schedule. Call once
+  /// per driver poll round while disconnected: a round either burns one
+  /// backoff round, or spends one re-dial attempt (one Reconnect() call).
+  /// Failed attempts back off exponentially in rounds (see
+  /// SocketSenderOptions); after `reconnect_max_attempts` failed attempts in
+  /// one outage the sender gives up permanently (`reconnect_gave_up()`)
+  /// until an explicit Connect() starts a fresh outage cycle. Returns true
+  /// when connected after this round. Already-connected rounds are no-ops.
+  bool ReconnectRound();
+
+  /// Public retry statistics (operators must see flapping links).
+  uint64_t reconnect_attempts() const { return reconnect_attempts_; }
+  uint64_t reconnect_successes() const { return reconnect_successes_; }
+  uint64_t reconnect_rounds_waited() const { return reconnect_rounds_waited_; }
+  bool reconnect_gave_up() const { return reconnect_gave_up_; }
+
   /// Stages one opaque frame payload (envelope + stamp added here).
   /// Fails if not connected.
   Status QueueFrame(const std::vector<uint8_t>& payload);
@@ -222,6 +250,14 @@ class SocketSender {
   uint64_t frames_queued_ = 0;
   std::vector<uint8_t> outbuf_;
   size_t out_pos_ = 0;
+  // Round-driven reconnect state (ReconnectRound).
+  uint64_t reconnect_attempts_ = 0;
+  uint64_t reconnect_successes_ = 0;
+  uint64_t reconnect_rounds_waited_ = 0;
+  uint32_t attempts_this_outage_ = 0;
+  uint32_t backoff_rounds_left_ = 0;
+  uint32_t next_backoff_rounds_ = 0;
+  bool reconnect_gave_up_ = false;
 };
 
 }  // namespace incshrink

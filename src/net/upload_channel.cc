@@ -20,6 +20,30 @@ bool UploadChannel::TryPush(std::vector<uint8_t> frame) {
   return true;
 }
 
+Status UploadChannel::Restore(std::vector<std::vector<uint8_t>> frames,
+                              const CounterState& counters) {
+  if (frames.size() > capacity_) {
+    return Status::InvalidArgument(
+        "snapshot backlog exceeds this channel's capacity");
+  }
+  if (counters.frames_popped + frames.size() != counters.frames_pushed) {
+    return Status::InvalidArgument(
+        "snapshot channel counters inconsistent with its backlog");
+  }
+  if (counters.max_depth > capacity_ || frames.size() > counters.max_depth) {
+    return Status::InvalidArgument(
+        "snapshot channel high-water mark inconsistent");
+  }
+  queue_.assign(std::make_move_iterator(frames.begin()),
+                std::make_move_iterator(frames.end()));
+  frames_pushed_ = counters.frames_pushed;
+  frames_popped_ = counters.frames_popped;
+  push_rejects_ = counters.push_rejects;
+  bytes_pushed_ = counters.bytes_pushed;
+  max_depth_ = static_cast<size_t>(counters.max_depth);
+  return Status::OK();
+}
+
 bool UploadChannel::TryPop(std::vector<uint8_t>* frame) {
   if (queue_.empty()) return false;
   *frame = std::move(queue_.front());

@@ -1,6 +1,48 @@
 #include "src/relational/query.h"
 
+#include <algorithm>
+
+#include "src/storage/checkpoint.h"
+
 namespace incshrink {
+
+namespace {
+
+void SaveIndex(
+    CheckpointWriter* writer,
+    const std::unordered_map<Word, std::vector<LogicalRecord>>& index) {
+  std::vector<Word> keys;
+  keys.reserve(index.size());
+  for (const auto& [key, bucket] : index) keys.push_back(key);
+  std::sort(keys.begin(), keys.end());
+  writer->U64(keys.size());
+  for (Word key : keys) {
+    const std::vector<LogicalRecord>& bucket = index.at(key);
+    writer->U32(key);
+    writer->U64(bucket.size());
+    for (const LogicalRecord& rec : bucket) writer->WriteRecord(rec);
+  }
+}
+
+Status RestoreIndex(CheckpointReader* reader,
+                    std::unordered_map<Word, std::vector<LogicalRecord>>* out) {
+  out->clear();
+  const uint64_t num_keys = reader->U64();
+  for (uint64_t i = 0; i < num_keys && reader->ok(); ++i) {
+    const Word key = reader->U32();
+    const uint64_t bucket_size = reader->U64();
+    if (out->count(key) != 0) {
+      return Status::InvalidArgument("snapshot join index repeats a key");
+    }
+    std::vector<LogicalRecord>& bucket = (*out)[key];
+    for (uint64_t j = 0; j < bucket_size && reader->ok(); ++j) {
+      bucket.push_back(reader->ReadRecord());
+    }
+  }
+  return reader->ExpectOk("ground-truth join index");
+}
+
+}  // namespace
 
 uint64_t WindowJoinCounter::Step(const std::vector<LogicalRecord>& new_t1,
                                  const std::vector<LogicalRecord>& new_t2) {
@@ -31,6 +73,47 @@ uint64_t WindowJoinCounter::Step(const std::vector<LogicalRecord>& new_t1,
     idx1_[a.key].push_back(a);
   }
   return count_;
+}
+
+void WindowJoinCounter::SaveTo(CheckpointWriter* writer) const {
+  writer->U64(count_);
+  writer->U64(pairs_.size());
+  for (const MatchedPair& pair : pairs_) {
+    writer->U32(pair.key);
+    writer->U32(pair.date1);
+    writer->U32(pair.date2);
+  }
+  SaveIndex(writer, idx1_);
+  SaveIndex(writer, idx2_);
+}
+
+Status WindowJoinCounter::RestoreFrom(CheckpointReader* reader) {
+  // Decode into temporaries; commit only after everything validated, so a
+  // failed restore leaves the counter untouched.
+  const uint64_t count = reader->U64();
+  const uint64_t num_pairs = reader->U64();
+  std::vector<MatchedPair> pairs;
+  for (uint64_t i = 0; i < num_pairs && reader->ok(); ++i) {
+    MatchedPair pair;
+    pair.key = reader->U32();
+    pair.date1 = reader->U32();
+    pair.date2 = reader->U32();
+    pairs.push_back(pair);
+  }
+  INCSHRINK_RETURN_NOT_OK(reader->ExpectOk("ground-truth matched pairs"));
+  if (count != pairs.size()) {
+    return Status::InvalidArgument(
+        "snapshot ground-truth count disagrees with its pair list");
+  }
+  std::unordered_map<Word, std::vector<LogicalRecord>> idx1;
+  std::unordered_map<Word, std::vector<LogicalRecord>> idx2;
+  INCSHRINK_RETURN_NOT_OK(RestoreIndex(reader, &idx1));
+  INCSHRINK_RETURN_NOT_OK(RestoreIndex(reader, &idx2));
+  count_ = count;
+  pairs_ = std::move(pairs);
+  idx1_ = std::move(idx1);
+  idx2_ = std::move(idx2);
+  return Status::OK();
 }
 
 uint64_t WindowJoinCounter::CountFull(const WindowJoinQuery& query,

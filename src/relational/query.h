@@ -4,9 +4,13 @@
 #include <unordered_map>
 #include <vector>
 
+#include "src/common/status.h"
 #include "src/relational/growing_table.h"
 
 namespace incshrink {
+
+class CheckpointWriter;
+class CheckpointReader;
 
 /// \brief Logical windowed-join count query q_t(D_t).
 ///
@@ -65,6 +69,15 @@ class WindowJoinCounter {
   static uint64_t CountFull(const WindowJoinQuery& query,
                             const std::vector<LogicalRecord>& t1,
                             const std::vector<LogicalRecord>& t2);
+
+  /// Checkpoint support: serializes the full incremental state (count,
+  /// discovered pairs, both key indexes). Index keys are emitted sorted so
+  /// snapshot bytes are deterministic regardless of hash-map iteration
+  /// order; per-key bucket vectors keep their insertion order, which is what
+  /// the incremental join's discovery order depends on.
+  void SaveTo(CheckpointWriter* writer) const;
+  /// Restores the state saved by SaveTo; fails closed on malformed input.
+  Status RestoreFrom(CheckpointReader* reader);
 
  private:
   WindowJoinQuery query_;

@@ -1,0 +1,166 @@
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "src/common/result.h"
+#include "src/common/rng.h"
+#include "src/mpc/cost_model.h"
+#include "src/relational/growing_table.h"
+#include "src/secret/share.h"
+#include "src/secret/shared_rows.h"
+
+namespace incshrink {
+
+/// \brief ICKP v1: the versioned, bounds-checked snapshot container.
+///
+/// Every resumable object in the system (engines, owner clients, fleet
+/// tenants) serializes into this format. It carries the same hardening
+/// discipline as the IUF upload-frame codec: a magic + version header, a flat
+/// sequence of tagged length-prefixed sections, reads that can never step
+/// outside their section, allocation guards that compare every element count
+/// against the bytes actually remaining before reserving, and a trailing
+/// FNV-1a64 checksum over everything that precedes it. A torn write (any
+/// strict prefix), a bit flip anywhere, or a hostile dimension header is
+/// rejected with a Status — the decoder never loads a partial state and never
+/// exhibits UB.
+///
+/// Layout (little-endian):
+///   magic "ICKP" | u8 version (1) |
+///   sections: (u32 tag | u64 len | len payload bytes)* |
+///   u64 fnv1a64 over all preceding bytes
+///
+/// Leakage contract: a snapshot may contain only public state — logical
+/// clocks, ledgers, RNG cursors (functions of public seeds), and share
+/// arrays. Share arrays are serialized exclusively through the ISR1
+/// share-blob path (WriteSharedRows), which keeps the two servers' halves in
+/// separable contiguous sections; each half alone is a uniformly random word
+/// stream. The oblivious-leakage linter treats every CheckpointWriter field
+/// write as a sink (tools/lint/secret_api.toml), so recovered secrets cannot
+/// silently reach a snapshot.
+
+/// FNV-1a 64-bit over `size` bytes, continuing from `h` (pass the offset
+/// basis for a fresh hash). Each absorbed byte applies a bijection to the
+/// hash state, so any single-byte corruption is detected deterministically.
+inline constexpr uint64_t kFnvOffsetBasis64 = 0xCBF29CE484222325ull;
+inline constexpr uint64_t kFnvPrime64 = 0x100000001B3ull;
+uint64_t Fnv1a64(const uint8_t* data, size_t size,
+                 uint64_t h = kFnvOffsetBasis64);
+
+/// Builds a section tag from four printable characters.
+constexpr uint32_t CheckpointTag(char a, char b, char c, char d) {
+  return static_cast<uint32_t>(static_cast<uint8_t>(a)) |
+         (static_cast<uint32_t>(static_cast<uint8_t>(b)) << 8) |
+         (static_cast<uint32_t>(static_cast<uint8_t>(c)) << 16) |
+         (static_cast<uint32_t>(static_cast<uint8_t>(d)) << 24);
+}
+
+/// \brief Appends typed fields into an ICKP v1 byte stream.
+///
+/// Usage: BeginSection(tag) ... field writes ... EndSection(), repeated, then
+/// Finish() stamps the checksum and yields the blob. Sections may nest; the
+/// writer back-patches each section's length when it closes.
+class CheckpointWriter {
+ public:
+  CheckpointWriter();
+
+  void BeginSection(uint32_t tag);
+  void EndSection();
+
+  void U8(uint8_t v);
+  void U32(uint32_t v);
+  void U64(uint64_t v);
+  /// Doubles travel as raw IEEE-754 bit patterns so restore is bit-exact.
+  void F64(double v);
+  /// Length-prefixed opaque byte string.
+  void Bytes(const std::vector<uint8_t>& bytes);
+
+  /// Composite helpers, paired with the CheckpointReader equivalents.
+  void WriteRng(const RngState& state);
+  void WriteStats(const CircuitStats& stats);
+  void WriteWordShares(const WordShares& shares);
+  /// Plaintext evaluation-only record (owner queues, ground-truth indexes).
+  void WriteRecord(const LogicalRecord& rec);
+  /// Secret-shared tables go through the ISR1 share-blob path only: two
+  /// length-prefixed per-server blobs, halves never interleaved.
+  void WriteSharedRows(const SharedRows& rows);
+
+  /// Closes the container: all sections must be ended. Returns the final
+  /// blob (header + sections + checksum) and leaves the writer empty.
+  std::vector<uint8_t> Finish();
+
+ private:
+  std::vector<uint8_t> buf_;
+  std::vector<size_t> open_sections_;  // offsets of length fields to patch
+};
+
+/// \brief Bounds-checked reader over an ICKP v1 byte stream.
+///
+/// Open() validates magic, version, minimum size and the checksum trailer up
+/// front, so by the time field reads happen the bytes are known to be exactly
+/// what some writer produced (or an adversarial forgery, which the structural
+/// checks below still contain). Field accessors follow the FrameReader
+/// ok-flag idiom: a read that would cross the current section boundary (or
+/// the end of the body) flips `ok()` and returns a zero value instead of
+/// over-reading. Callers check `ExpectOk()` at section granularity and
+/// `Finish()` at the end, which also demands every byte was consumed.
+///
+/// The reader borrows the byte buffer; it must outlive the reader.
+class CheckpointReader {
+ public:
+  /// Validates the container framing. Returns InvalidArgument on any
+  /// truncation, bad magic, unknown version, or checksum mismatch.
+  static Result<CheckpointReader> Open(const std::vector<uint8_t>& bytes);
+
+  /// Enters the next section, which must carry `tag`; flips ok() otherwise.
+  void BeginSection(uint32_t tag);
+  /// Leaves the current section; flips ok() if bytes remain unread in it.
+  void EndSection();
+
+  uint8_t U8();
+  uint32_t U32();
+  uint64_t U64();
+  double F64();
+  /// Length-prefixed byte string. The length is checked against the bytes
+  /// actually remaining in scope before any allocation happens, so a hostile
+  /// length cannot trigger an allocation bomb.
+  std::vector<uint8_t> Bytes();
+
+  RngState ReadRng();
+  CircuitStats ReadStats();
+  WordShares ReadWordShares();
+  LogicalRecord ReadRecord();
+  Result<SharedRows> ReadSharedRows();
+
+  bool ok() const { return ok_; }
+  /// InvalidArgument naming `what` if any prior read failed, OK otherwise.
+  Status ExpectOk(const char* what) const;
+  /// Terminal check: ok, no open sections, every body byte consumed.
+  Status Finish() const;
+
+ private:
+  CheckpointReader(const uint8_t* data, size_t body_end)
+      : data_(data), pos_(kHeaderSize), body_end_(body_end) {}
+
+  static constexpr size_t kHeaderSize = 5;   // "ICKP" + version byte
+  static constexpr size_t kTrailerSize = 8;  // fnv1a64
+
+  size_t Limit() const { return ends_.empty() ? body_end_ : ends_.back(); }
+  bool Take(size_t n) {
+    if (!ok_ || n > Limit() - pos_) {
+      ok_ = false;
+      return false;
+    }
+    return true;
+  }
+
+  const uint8_t* data_ = nullptr;
+  size_t pos_ = 0;
+  size_t body_end_ = 0;
+  std::vector<size_t> ends_;  // enclosing section end offsets
+  bool ok_ = true;
+};
+
+}  // namespace incshrink

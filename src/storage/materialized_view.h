@@ -25,6 +25,10 @@ class MaterializedView {
     return static_cast<double>(rows_.TotalBytes()) / (1024.0 * 1024.0);
   }
 
+  /// Checkpoint-restore path: replaces the view contents wholesale. The
+  /// caller validates the width (kViewWidth) before handing rows over.
+  void RestoreRows(SharedRows rows) { rows_ = std::move(rows); }
+
  private:
   SharedRows rows_;
 };

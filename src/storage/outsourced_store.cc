@@ -28,4 +28,18 @@ SharedRows OutsourcedTable::ConcatAll() const {
   return ConcatRange(0, batches_.size() - 1);
 }
 
+Status OutsourcedTable::RestoreBatches(std::vector<SharedRows> batches) {
+  uint64_t total = 0;
+  for (const SharedRows& batch : batches) {
+    if (batch.width() != width_) {
+      return Status::InvalidArgument(
+          "snapshot store batch width disagrees with the table width");
+    }
+    total += batch.size();
+  }
+  batches_ = std::move(batches);
+  total_rows_ = total;
+  return Status::OK();
+}
+
 }  // namespace incshrink

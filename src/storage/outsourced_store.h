@@ -4,6 +4,7 @@
 #include <vector>
 
 #include "src/common/rng.h"
+#include "src/common/status.h"
 #include "src/secret/shared_rows.h"
 
 namespace incshrink {
@@ -39,6 +40,11 @@ class OutsourcedTable {
 
   /// Concatenates every batch (the full DS, used by the NM baseline).
   SharedRows ConcatAll() const;
+
+  /// Checkpoint-restore path: replaces all batches wholesale, recomputing
+  /// the row total. Rejects any batch whose width disagrees with this
+  /// table's width (hostile snapshots must fail closed, not corrupt DS).
+  Status RestoreBatches(std::vector<SharedRows> batches);
 
  private:
   size_t width_;

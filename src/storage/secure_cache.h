@@ -49,6 +49,14 @@ class SecureCache {
   /// 64-bit end-to-end so long runs can never wrap the counter itself (see
   /// MakeCacheSortKey for the residual 32-bit key-cycle bound).
   uint64_t* seq() { return &seq_; }
+  uint64_t seq_value() const { return seq_; }
+
+  /// Checkpoint-restore path: overwrites the counter sharing and insertion
+  /// sequence with snapshot values. Deliberately does NOT re-share — drawing
+  /// fresh randomness here would desynchronize the party streams from the
+  /// run being resumed.
+  void RestoreCounter(const WordShares& counter) { counter_ = counter; }
+  void RestoreSeq(uint64_t seq) { seq_ = seq; }
 
  private:
   SharedRows rows_;

@@ -89,6 +89,20 @@ class ShardedSecureCache {
   /// Rows ever routed through AppendTransformBlock (public).
   uint64_t append_cursor() const { return append_cursor_; }
 
+  /// Checkpoint support: shard `k`'s derived party `which` (0 or 1), or
+  /// nullptr when K == 1 (the single shard runs on the root protocol's
+  /// parties, which the engine snapshot covers already).
+  Party* shard_party(size_t k, int which) {
+    return parties_.empty() ? nullptr : parties_[2 * k + which].get();
+  }
+
+  /// Checkpoint-restore path: overwrites the global FIFO sequence and the
+  /// append cursor with snapshot values.
+  void RestoreCursors(uint64_t seq, uint64_t append_cursor) {
+    seq_ = seq;
+    append_cursor_ = append_cursor;
+  }
+
   /// Commits one Transform output block (Alg. 1 lines 4-7, sharded): routes
   /// each row to ShardOfAppendIndex(global append index), updates every
   /// shard's secret-shared counter with its share of `real_entries`, and

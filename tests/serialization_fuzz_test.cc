@@ -14,11 +14,16 @@
 #include <cstring>
 #include <vector>
 
+#include "src/common/logging.h"
 #include "src/common/rng.h"
+#include "src/core/engine.h"
+#include "src/core/owner_client.h"
 #include "src/net/frame_codec.h"
 #include "src/oblivious/formats.h"
 #include "src/secret/shared_rows.h"
+#include "src/storage/checkpoint.h"
 #include "src/storage/serialization.h"
+#include "src/workload/generators.h"
 
 namespace incshrink {
 namespace {
@@ -387,6 +392,195 @@ TEST(FrameAssemblerFuzzTest, MutatedStreamsInRandomChunksNeverCrash) {
       EXPECT_TRUE(assembler.poisoned());
     }
   }
+}
+
+// ---------------------------------------------------------------------------
+// ICKP snapshot decoder (CheckpointReader + Engine::RestoreCheckpoint)
+// ---------------------------------------------------------------------------
+
+/// A realistic nested ICKP blob: a small engine run's full snapshot.
+std::vector<uint8_t> SampleEngineSnapshot(const IncShrinkConfig& cfg) {
+  TpcDsParams p;
+  p.steps = 4;
+  p.seed = 5;
+  const GeneratedWorkload w = GenerateTpcDs(p);
+  SynchronousDeployment d(cfg);
+  INCSHRINK_CHECK(d.Run(w.t1, w.t2).ok());
+  Result<std::vector<uint8_t>> blob = d.engine().SaveCheckpoint();
+  INCSHRINK_CHECK(blob.ok());
+  return *blob;
+}
+
+IncShrinkConfig SnapshotFuzzConfig() {
+  IncShrinkConfig cfg = DefaultTpcDsConfig();
+  cfg.strategy = Strategy::kDpTimer;
+  cfg.timer_T = 2;
+  cfg.flush_interval = 3;
+  cfg.flush_size = 4;
+  return cfg;
+}
+
+/// Recomputes the trailing FNV-1a64 after a hostile in-body edit, so the
+/// mutation models an adversarial forgery rather than a disk error — the
+/// structural checks, not the checksum, must contain it.
+void FixupChecksum(std::vector<uint8_t>* blob) {
+  INCSHRINK_CHECK(blob->size() >= 13);
+  PutU64(blob, blob->size() - 8, Fnv1a64(blob->data(), blob->size() - 8));
+}
+
+TEST(IckpFuzzTest, TruncationAtEveryPrefixIsRejected) {
+  const IncShrinkConfig cfg = SnapshotFuzzConfig();
+  const std::vector<uint8_t> blob = SampleEngineSnapshot(cfg);
+  Engine victim(cfg);
+  for (size_t len = 0; len < blob.size(); ++len) {
+    const std::vector<uint8_t> prefix(blob.begin(), blob.begin() + len);
+    EXPECT_FALSE(CheckpointReader::Open(prefix).ok())
+        << "truncation to " << len << " opened";
+    EXPECT_FALSE(victim.RestoreCheckpoint(prefix).ok())
+        << "truncation to " << len << " restored";
+  }
+  EXPECT_TRUE(victim.RestoreCheckpoint(blob).ok());
+}
+
+TEST(IckpFuzzTest, SeededBitFlipsNeverCrashOrLoad) {
+  const IncShrinkConfig cfg = SnapshotFuzzConfig();
+  const std::vector<uint8_t> blob = SampleEngineSnapshot(cfg);
+  Engine victim(cfg);
+  Rng rng(515151);
+  for (int iter = 0; iter < 4000; ++iter) {
+    std::vector<uint8_t> mutated = blob;
+    const size_t flips = 1 + rng.Uniform(4);
+    for (size_t f = 0; f < flips; ++f) {
+      mutated[rng.Uniform(mutated.size())] ^=
+          static_cast<uint8_t>(1u << rng.Uniform(8));
+    }
+    // The checksum trailer turns every flip into a clean rejection.
+    EXPECT_FALSE(victim.RestoreCheckpoint(mutated).ok()) << "iter " << iter;
+  }
+}
+
+TEST(IckpFuzzTest, HostileHeadersBehindValidChecksumsAreContained) {
+  // An adversary who can re-stamp the checksum still cannot get a hostile
+  // dimension header through: every count/length is validated against the
+  // bytes actually present before any allocation or load happens.
+  const IncShrinkConfig cfg = SnapshotFuzzConfig();
+  const std::vector<uint8_t> blob = SampleEngineSnapshot(cfg);
+  Engine victim(cfg);
+
+  // The first section's length field lives at a fixed offset: magic+version
+  // (5) + tag (4) = 9. Oversized claims over-run the body; undersized ones
+  // leave unread bytes. Both must bounce.
+  for (uint64_t dim : kHostileDims) {
+    std::vector<uint8_t> mutated = blob;
+    PutU64(&mutated, 9, dim);
+    FixupChecksum(&mutated);
+    const bool honest = dim == 8;  // 'CFG ' holds exactly one u64
+    EXPECT_EQ(victim.RestoreCheckpoint(mutated).ok(), honest)
+        << "section len " << dim;
+  }
+
+  // A forged Bytes length prefix: a hand-built container whose single
+  // section claims a payload of up to 2^63 bytes. The reader must reject
+  // before allocating (ASan/OOM would catch the alternative).
+  for (uint64_t dim : kHostileDims) {
+    CheckpointWriter w;
+    w.BeginSection(CheckpointTag('F', 'U', 'Z', 'Z'));
+    w.Bytes({1, 2, 3});
+    w.EndSection();
+    std::vector<uint8_t> crafted = w.Finish();
+    // Layout: header(5) | tag(4) | section len(8) | bytes len(8) | payload.
+    PutU64(&crafted, 17, dim);
+    FixupChecksum(&crafted);
+    Result<CheckpointReader> r = CheckpointReader::Open(crafted);
+    ASSERT_TRUE(r.ok());
+    r->BeginSection(CheckpointTag('F', 'U', 'Z', 'Z'));
+    const std::vector<uint8_t> payload = r->Bytes();
+    if (dim == 3) {
+      EXPECT_TRUE(r->ok());
+      EXPECT_EQ(payload.size(), 3u);
+    } else if (dim < 3) {
+      // An undersized claim reads a shorter prefix; the unread trailing
+      // bytes are a structural error the moment the section closes.
+      EXPECT_TRUE(r->ok());
+      EXPECT_EQ(payload.size(), dim);
+      r->EndSection();
+      EXPECT_FALSE(r->ok()) << "bytes len " << dim;
+    } else {
+      // An oversized claim is caught against the bytes remaining BEFORE
+      // any allocation happens.
+      EXPECT_FALSE(r->ok()) << "bytes len " << dim;
+      EXPECT_TRUE(payload.empty());
+      EXPECT_FALSE(r->ExpectOk("fuzz").ok());
+      EXPECT_FALSE(r->Finish().ok());
+    }
+  }
+
+  // Wrong tag and unread trailing bytes are structural errors too.
+  {
+    CheckpointWriter w;
+    w.BeginSection(CheckpointTag('A', 'B', 'C', 'D'));
+    w.U64(7);
+    w.EndSection();
+    const std::vector<uint8_t> crafted = w.Finish();
+    Result<CheckpointReader> r = CheckpointReader::Open(crafted);
+    ASSERT_TRUE(r.ok());
+    r->BeginSection(CheckpointTag('X', 'Y', 'Z', 'W'));
+    EXPECT_FALSE(r->ok());
+  }
+  {
+    CheckpointWriter w;
+    w.BeginSection(CheckpointTag('A', 'B', 'C', 'D'));
+    w.U64(7);
+    w.U64(8);
+    w.EndSection();
+    const std::vector<uint8_t> crafted = w.Finish();
+    Result<CheckpointReader> r = CheckpointReader::Open(crafted);
+    ASSERT_TRUE(r.ok());
+    r->BeginSection(CheckpointTag('A', 'B', 'C', 'D'));
+    EXPECT_EQ(r->U64(), 7u);
+    r->EndSection();  // 8 bytes unread -> structural failure
+    EXPECT_FALSE(r->ok());
+  }
+}
+
+TEST(IckpFuzzTest, RandomGarbageNeverOpens) {
+  Rng rng(616161);
+  for (int iter = 0; iter < 2000; ++iter) {
+    std::vector<uint8_t> garbage(rng.Uniform(512));
+    for (uint8_t& byte : garbage) byte = static_cast<uint8_t>(rng.Next32());
+    // Random bytes carry neither the magic nor a matching checksum.
+    EXPECT_FALSE(CheckpointReader::Open(garbage).ok());
+  }
+}
+
+TEST(IckpFuzzTest, RepeatedFailedRestoresLeaveEngineUsable) {
+  const IncShrinkConfig cfg = SnapshotFuzzConfig();
+  const std::vector<uint8_t> blob = SampleEngineSnapshot(cfg);
+  Engine victim(cfg);
+  Rng rng(717171);
+  for (int iter = 0; iter < 400; ++iter) {
+    std::vector<uint8_t> mutated = blob;
+    switch (rng.Uniform(3)) {
+      case 0:
+        mutated.resize(rng.Uniform(mutated.size()));
+        break;
+      case 1:
+        mutated[rng.Uniform(mutated.size())] ^=
+            static_cast<uint8_t>(1u << rng.Uniform(8));
+        break;
+      default:
+        PutU64(&mutated, 9, kHostileDims[rng.Uniform(12)]);
+        FixupChecksum(&mutated);
+        break;
+    }
+    EXPECT_FALSE(victim.RestoreCheckpoint(mutated).ok());
+  }
+  // Four hundred bounced forgeries later, the pristine snapshot loads and
+  // round-trips bit for bit.
+  ASSERT_TRUE(victim.RestoreCheckpoint(blob).ok());
+  Result<std::vector<uint8_t>> again = victim.SaveCheckpoint();
+  ASSERT_TRUE(again.ok());
+  EXPECT_EQ(blob, *again);
 }
 
 }  // namespace

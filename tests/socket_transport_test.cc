@@ -504,6 +504,77 @@ TEST_P(SocketLoopbackTest, IdleConnectionsEvictedByPollRoundsNotWallTime) {
   ASSERT_TRUE(PollUntil(&listener, [&] { return ch.depth() == 1; }));
 }
 
+TEST(SocketReconnectTest, BoundedRoundScheduleGivesUpAfterNAttempts) {
+  // A port that refuses connections: bind a listener, note the port, tear
+  // the listener down. Loopback refusals are immediate, so each re-dial
+  // attempt fails within one ReconnectRound call.
+  uint16_t dead_port = 0;
+  {
+    UploadChannel ch(4);
+    SocketListener listener({&ch}, TestListenerOptions());
+    ASSERT_TRUE(listener.Bind().ok());
+    dead_port = listener.port();
+  }
+
+  SocketSenderOptions opt;
+  opt.connect_attempts = 1;  // one dial per ReconnectRound
+  opt.connect_timeout_ms = 50;
+  opt.reconnect_backoff_rounds = 1;
+  opt.reconnect_backoff_max_rounds = 4;
+  opt.reconnect_max_attempts = 3;
+  SocketSender sender(opt);
+  EXPECT_FALSE(sender.Connect("127.0.0.1", dead_port, 0).ok());
+  EXPECT_FALSE(sender.connected());
+
+  // Deterministic round schedule with base 1 doubling to cap 4 and three
+  // attempts per outage:
+  //   round 1: attempt #1 fails, back off 1 round
+  //   round 2: wait
+  //   round 3: attempt #2 fails, back off 2 rounds
+  //   rounds 4-5: wait
+  //   round 6: attempt #3 fails -> permanent give-up
+  const bool expect_wait[] = {false, true, false, true, true, false};
+  for (int round = 0; round < 6; ++round) {
+    const uint64_t attempts_before = sender.reconnect_attempts();
+    EXPECT_FALSE(sender.ReconnectRound());
+    const bool waited = sender.reconnect_attempts() == attempts_before;
+    EXPECT_EQ(waited, expect_wait[round]) << "round " << round + 1;
+  }
+  EXPECT_TRUE(sender.reconnect_gave_up());
+  EXPECT_EQ(sender.reconnect_attempts(), 3u);
+  EXPECT_EQ(sender.reconnect_rounds_waited(), 3u);
+  EXPECT_EQ(sender.reconnect_successes(), 0u);
+
+  // Given up means given up: further rounds are inert no-ops, not retries.
+  for (int round = 0; round < 16; ++round) {
+    EXPECT_FALSE(sender.ReconnectRound());
+  }
+  EXPECT_EQ(sender.reconnect_attempts(), 3u);
+  EXPECT_EQ(sender.reconnect_rounds_waited(), 3u);
+
+  // An explicit Connect() starts a fresh outage cycle: the verdict clears,
+  // and against a live listener the sender comes back and delivers.
+  UploadChannel ch(4);
+  SocketListener listener({&ch}, TestListenerOptions());
+  ASSERT_TRUE(listener.Bind().ok());
+  ASSERT_TRUE(sender.Connect("127.0.0.1", listener.port(), 0).ok());
+  EXPECT_FALSE(sender.reconnect_gave_up());
+  EXPECT_TRUE(sender.ReconnectRound());  // already-connected round: no-op
+  EXPECT_EQ(sender.reconnect_attempts(), 3u);
+  ASSERT_TRUE(sender.QueueFrame(SmallFramePayload(1)).ok());
+  ASSERT_TRUE(sender.Flush().ok());
+  ASSERT_TRUE(PollUntil(&listener, [&] { return ch.depth() == 1; }));
+
+  // Mid-outage recovery: drop the connection while the listener stays up —
+  // the first re-dial round succeeds, counting a success and no give-up.
+  sender.CloseConn();
+  EXPECT_FALSE(sender.connected());
+  EXPECT_TRUE(sender.ReconnectRound());
+  EXPECT_TRUE(sender.connected());
+  EXPECT_EQ(sender.reconnect_successes(), 1u);
+  EXPECT_FALSE(sender.reconnect_gave_up());
+}
+
 TEST(SocketBackpressureTest, KernelBackpressureReachesTheSenderAndConserves) {
   // End-to-end wire backpressure: a full engine channel pauses reads, the
   // kernel buffers fill, Flush stops making progress (!fully_flushed) — and

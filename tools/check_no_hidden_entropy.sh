@@ -228,4 +228,26 @@ if [ -f "$SHUFFLE_SCHEDULER" ]; then
     exit 1
   fi
 fi
+# Checkpoint hygiene (crash-recovery tentpole): restore NEVER draws. The
+# ICKP codec overwrites RNG cursors, counters and thetas with serialized
+# state; any randomness drawn during snapshot encode/decode would
+# desynchronize the party streams on restart and break the bit-identical
+# resume contract (tests/checkpoint_restore_test.cc is the runtime half of
+# this check). FreshShare is included: re-sharing rows on restore would
+# silently re-randomize the two servers' halves.
+CHECKPOINT_CODEC=src/storage/checkpoint.cc
+if [ -f "$CHECKPOINT_CODEC" ]; then
+  hits=$(grep -nE '\bRng\s*\(|Next32|Next64|FreshShare|internal_rng|Laplace' \
+         "$CHECKPOINT_CODEC")
+  if [ -n "$hits" ]; then
+    say "FORBIDDEN randomness in the checkpoint codec:"
+    echo "$hits"
+    echo
+    say "Snapshot encode/restore must be a pure function of the serialized"
+    say "bytes — RNG state is restored, never re-drawn (src/storage/"
+    say "checkpoint.h documents the leakage contract)."
+    exit 1
+  fi
+fi
+
 say "OK: no hidden entropy sources found."
